@@ -1,0 +1,117 @@
+// Command policyd is an interactive policy-server REPL over a small
+// simulated deployment (client, two firewall instances, a monitor, a
+// server), demonstrating the §2.2 command interface:
+//
+//	> pool add fw rr 10.0.0.2 10.0.0.3
+//	> rule add dport 80 chain fw
+//	> connect          (opens a client session through the chain)
+//	> show pools
+//	> replace middlebox1 10.0.0.3
+//	> run 5s           (advance virtual time)
+//	> stats
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/tcp"
+)
+
+func main() {
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(1)
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	fw1 := env.AddNode("middlebox1", lab.HostOptions{Link: link, App: mbox.NewFirewall(env.Eng, mbox.FirewallRule{})})
+	fw2 := env.AddNode("middlebox2", lab.HostOptions{Link: link, App: mbox.NewFirewall(env.Eng, mbox.FirewallRule{})})
+	mon := env.AddNode("monitor", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+
+	ps := policy.NewServer()
+	ps.Attach("client", client.Agent)
+	ps.Attach("middlebox1", fw1.Agent)
+	ps.Attach("middlebox2", fw2.Agent)
+	ps.Attach("monitor", mon.Agent)
+
+	fmt.Println("dysco policy server — hosts:")
+	for _, n := range []*lab.Node{client, fw1, fw2, mon, server} {
+		fmt.Printf("  %-12s %v\n", n.Host.Name, n.Addr())
+	}
+	fmt.Println(`commands: pool/rule/show/replace (policy), connect, send <n>, run <dur>, stats, quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	var conns []*tcp.Conn
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "connect":
+			c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+			conns = append(conns, c)
+			env.RunFor(50 * time.Millisecond)
+			fmt.Printf("session %v: %v\n", c.Tuple(), c.State())
+		case "send":
+			n := 10000
+			fmt.Sscanf(line, "send %d", &n)
+			if len(conns) == 0 {
+				fmt.Println("no session; connect first")
+				continue
+			}
+			conns[len(conns)-1].Send(make([]byte, n))
+			env.RunFor(time.Second)
+			fmt.Printf("server has received %d bytes total\n", received)
+		case "run":
+			d := time.Second
+			if len(fields) > 1 {
+				if p, err := time.ParseDuration(fields[1]); err == nil {
+					d = p
+				}
+			}
+			env.RunFor(d)
+			fmt.Printf("t=%v\n", env.Eng.Now())
+		case "stats":
+			for _, n := range []*lab.Node{client, fw1, fw2, mon, server} {
+				fmt.Printf("  %-12s in=%-7d out=%-7d", n.Host.Name, n.Host.Stats.PacketsIn, n.Host.Stats.PacketsOut)
+				if n.Agent != nil {
+					fmt.Printf(" sessions=%-4d rewrites=%-7d reconfigs=%d/%d",
+						n.Agent.Sessions(), n.Agent.Stats.PacketsRewritten,
+						n.Agent.Stats.ReconfigsDone, n.Agent.Stats.ReconfigsStarted)
+				}
+				fmt.Println()
+			}
+			fmt.Printf("  server bytes received: %d\n", received)
+		default:
+			out, err := ps.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if out != "" {
+				fmt.Println(out)
+			}
+			env.RunFor(100 * time.Millisecond) // let triggered work proceed
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Management plane: a policy server on its own host manages Dysco daemons
+// over the network (Figure 7's management path, on the reliable-UDP
+// library): pools and rules are pushed to the daemons, which cache them
+// and resolve middlebox instances locally; later the server issues the
+// §2.2 maintenance command — "replace yourself in all ongoing sessions" —
+// and every live session migrates without a reset.
+//
+//	go run ./examples/management
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/tcp"
+)
+
+func main() {
+	link := netsim.LinkConfig{Delay: 200 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(23)
+	psHost := env.AddNode("policyd", lab.HostOptions{Link: link})
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	dpi1 := env.AddNode("dpi1", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	dpi2 := env.AddNode("dpi2", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+
+	// The policy server and the daemons talk over the simulated network.
+	ps := policy.NewServer()
+	ps.ServeOn(psHost.Host)
+	policy.NewManagedDaemon("client", client.Agent, psHost.Addr())
+	dpi1d := policy.NewManagedDaemon("dpi1", dpi1.Agent, psHost.Addr())
+	_ = dpi1d
+
+	// Operator configures a pool of DPI instances and a rule; one Push
+	// distributes the policy to every registered daemon.
+	ps.AddPool(policy.NewPool("dpi", policy.RoundRobin, dpi1.Addr()))
+	ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"dpi"}})
+	env.RunFor(100 * time.Millisecond)
+	ps.Push()
+	env.RunFor(100 * time.Millisecond)
+	fmt.Printf("daemons registered with the policy server: %v\n", ps.Daemons())
+
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	conn.OnEstablished = func() { conn.Send(make([]byte, 512<<10)) }
+	env.RunFor(200 * time.Millisecond)
+	m1 := dpi1.Agent.App.(*mbox.Monitor)
+	fmt.Printf("session chained through dpi1 (cached policy): %d sessions tracked\n", len(m1.Sessions))
+
+	// dpi1 goes down for maintenance: one management command replaces it
+	// in every ongoing session, with no connection resets.
+	fmt.Println("policy server: replace dpi1 with dpi2 in all ongoing sessions")
+	if err := ps.CommandReplace("dpi1", dpi2.Addr()); err != nil {
+		fmt.Println("command failed:", err)
+		return
+	}
+	env.RunFor(5 * time.Second)
+	conn.Send(make([]byte, 128<<10))
+	env.RunFor(2 * time.Second)
+
+	m2 := dpi2.Agent.App.(*mbox.Monitor)
+	fmt.Printf("after replacement: server received %d bytes total; session state=%v\n",
+		received, conn.State())
+	fmt.Printf("dpi1 now tracks %d sessions at its agent; dpi2 monitor sees %d session(s)\n",
+		dpi1.Agent.Sessions(), len(m2.Sessions))
+	for tuple, e := range m2.Sessions {
+		fmt.Printf("  dpi2 %v: %d packets\n", tuple, e.Packets)
+	}
+}

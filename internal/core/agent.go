@@ -1,0 +1,750 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// DaemonPort is the UDP port every Dysco daemon listens on.
+const DaemonPort packet.Port = 9903
+
+// App is a packet-level middlebox application (the libpcap/sk_buff style
+// of §4.1): it receives packets carrying the original session header and
+// returns the packets to re-emit (usually the same one, possibly modified,
+// possibly none to drop).
+type App interface {
+	Process(p *packet.Packet, dir netsim.Direction) []*packet.Packet
+}
+
+// Classifier is optionally implemented by a middlebox application that
+// itself selects the next middlebox(es) for a session (§2.2: "an
+// application classifier … to itself select the next middlebox in the
+// chain"): the returned addresses are injected at the head of the SYN's
+// untraversed address list.
+type Classifier interface {
+	NextHops(session packet.FiveTuple, syn *packet.Packet) []packet.Addr
+}
+
+// StatefulApp is implemented by middlebox applications whose per-session
+// state can be exported and imported during replacement (OpenNF-style,
+// §5.3 "middlebox replacement with state transfer").
+type StatefulApp interface {
+	App
+	ExportState(sess packet.FiveTuple) ([]byte, error)
+	ImportState(state []byte) error
+}
+
+// PolicyFunc returns the middlebox address list for a new locally-
+// originated session (excluding the destination), or nil for no chain.
+type PolicyFunc func(p *packet.Packet) []packet.Addr
+
+// Config tunes an agent.
+type Config struct {
+	// ControlRTO is the retransmission timeout for reconfiguration control
+	// messages (default 2 ms — LAN scale, §5.3).
+	ControlRTO sim.Time
+	// MaxControlRetries bounds control retransmissions before a
+	// reconfiguration attempt is declared failed (§3.6). Default 8.
+	MaxControlRetries int
+	// WindowClamp caps the receive window (in bytes) advertised on the old
+	// path during reconfiguration; the paper found min(adv, 64 KB) best
+	// (§5.3). 0 disables clamping; set ZeroWindow to advertise 0 instead.
+	WindowClamp int
+	ZeroWindow  bool
+	// DisableOptionTranslation turns off SACK/timestamp/window-scale
+	// translation at anchors (ablation; Figure 14(b) behaviour).
+	DisableOptionTranslation bool
+	// IdleTimeout garbage-collects session state with no traffic
+	// (default 5 min).
+	IdleTimeout sim.Time
+	// HeartbeatInterval, when positive, makes the agent send keepalive
+	// signals for idle sessions to its neighbors so good subsessions are
+	// not timed out (§2.1: "agents can use heartbeat signals to keep good
+	// subsessions alive"). Received heartbeats refresh the session.
+	HeartbeatInterval sim.Time
+	// GCInterval, when positive, runs CollectIdle periodically.
+	GCInterval sim.Time
+	// TransitChaining makes this agent chain TRANSIT sessions (the host
+	// must be Forwarding): an ISP edge router initiating Dysco chains on
+	// behalf of end-hosts that do not run Dysco (§2.4 partial deployment).
+	// Rewritten inbound packets are forwarded onward instead of being
+	// delivered to a local stack or application.
+	TransitChaining bool
+	// StateOpCost models the time a daemon spends exporting or importing
+	// middlebox state (conntrack invocation + serialization, §5.3); it is
+	// what makes state transfer dominate Figure 15's reconfiguration
+	// times. Default 20 ms; set negative for zero.
+	StateOpCost sim.Time
+	// RewriteCost is the CPU cost charged per rewritten packet
+	// (default 300 ns, the incremental-checksum header rewrite).
+	RewriteCost sim.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.ControlRTO == 0 {
+		c.ControlRTO = 2 * time.Millisecond
+	}
+	if c.MaxControlRetries == 0 {
+		c.MaxControlRetries = 8
+	}
+	if c.WindowClamp == 0 && !c.ZeroWindow {
+		c.WindowClamp = 64 << 10
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.RewriteCost == 0 {
+		c.RewriteCost = 300 * time.Nanosecond
+	}
+	if c.StateOpCost == 0 {
+		c.StateOpCost = 20 * time.Millisecond
+	} else if c.StateOpCost < 0 {
+		c.StateOpCost = 0
+	}
+}
+
+// Stats counts agent events.
+type Stats struct {
+	SessionsOpened    uint64
+	PacketsRewritten  uint64
+	TagsApplied       uint64
+	TagsMatched       uint64
+	ReconfigsStarted  uint64
+	ReconfigsDone     uint64
+	ReconfigsFailed   uint64
+	LocksGranted      uint64
+	LocksNacked       uint64
+	CtrlRetransmits   uint64
+	SplitPackets      uint64
+	OldPathPackets    uint64
+	NewPathPackets    uint64
+	SessionsCollected uint64
+}
+
+// rewriteEntry maps an observed five-tuple to its rewrite, with the delta
+// and option translations of §3.4/§4.2.
+type rewriteEntry struct {
+	to   packet.FiveTuple
+	sess *Session
+	// dirRight: the packet travels client→server.
+	dirRight bool
+	// deliver: after ingress rewrite, hand the packet to the local stack
+	// (end-host or TCP-terminating proxy) instead of the packet App.
+	deliver bool
+	// Ingress translations.
+	seqAdd int64 // incoming stream position delta
+	tsAdd  int64 // incoming TS.Val delta
+	// Egress translations.
+	ackAdd         int64 // outgoing ack (and SACK block) delta
+	tsEcrAdd       int64 // outgoing TS.Ecr delta
+	winFrom, winTo int8  // outgoing window rescale
+	// anchorSide marks entries on an anchor's session side so the data
+	// path maintains the §3.5 counters.
+	anchorTrack bool
+	// newPath marks new-path entries during two-path operation.
+	newPath bool
+}
+
+// Agent is the per-host Dysco agent: the data-plane interceptor (kernel
+// module equivalent) plus the user-space reconfiguration daemon.
+type Agent struct {
+	Host   *netsim.Host
+	Cfg    Config
+	Policy PolicyFunc
+	// App, when set, makes this host a packet-level middlebox: rewritten
+	// packets are run through it and re-emitted.
+	App App
+	// Stats is exported for experiments.
+	Stats Stats
+
+	// OnReconfigDone, when set, observes every reconfiguration this agent
+	// anchors (experiments use it for Figure 13 timings).
+	OnReconfigDone func(sess packet.FiveTuple, ok bool, took sim.Time)
+	// OnReconfigSwitch fires at a left anchor when the new path goes into
+	// use ("from the moment a SYN message is sent until the new path is
+	// used", the §5.3 timing).
+	OnReconfigSwitch func(sess packet.FiveTuple, sinceStart sim.Time)
+
+	eng      *sim.Engine
+	findConn FindConnFunc
+	ingress  map[packet.FiveTuple]*rewriteEntry
+	egress   map[packet.FiveTuple]*rewriteEntry
+	sessions map[packet.FiveTuple]*Session // by IDLeft (and IDRight when different)
+	nextPort packet.Port
+	nextTag  uint32
+	tagged   map[uint32]*Session
+	daemon   *daemon
+}
+
+// NewAgent attaches a Dysco agent to a host. The agent registers ingress
+// and egress hooks and binds the daemon's UDP port.
+func NewAgent(h *netsim.Host, cfg Config) *Agent {
+	cfg.fillDefaults()
+	a := &Agent{
+		Host:     h,
+		Cfg:      cfg,
+		eng:      h.Net.Eng,
+		ingress:  make(map[packet.FiveTuple]*rewriteEntry),
+		egress:   make(map[packet.FiveTuple]*rewriteEntry),
+		sessions: make(map[packet.FiveTuple]*Session),
+		nextPort: 40000,
+		nextTag:  1,
+		tagged:   make(map[uint32]*Session),
+	}
+	a.daemon = newDaemon(a)
+	h.AddIngressHook(a.ingressHook)
+	h.AddEgressHook(a.egressHook)
+	h.BindUDP(DaemonPort, a.daemon.handleUDP)
+	if cfg.HeartbeatInterval > 0 {
+		a.eng.Schedule(cfg.HeartbeatInterval, a.heartbeatTick)
+	}
+	if cfg.GCInterval > 0 {
+		a.eng.Schedule(cfg.GCInterval, a.gcTick)
+	}
+	return a
+}
+
+// heartbeatTick sends a keepalive for every session idle longer than the
+// heartbeat interval, then re-arms.
+func (a *Agent) heartbeatTick() {
+	now := a.eng.Now()
+	a.EachSession(func(sess *Session) {
+		if now-sess.lastActive < a.Cfg.HeartbeatInterval {
+			return
+		}
+		if sess.RightHost != 0 {
+			a.daemon.send(sess.RightHost, &ctrlMsg{Type: msgHeartbeat, Session: sess.IDRight})
+		}
+		if sess.LeftHost != 0 {
+			a.daemon.send(sess.LeftHost, &ctrlMsg{Type: msgHeartbeat, Session: sess.IDLeft})
+		}
+	})
+	a.eng.Schedule(a.Cfg.HeartbeatInterval, a.heartbeatTick)
+}
+
+// gcTick collects idle/closed sessions periodically.
+func (a *Agent) gcTick() {
+	a.CollectIdle()
+	a.eng.Schedule(a.Cfg.GCInterval, a.gcTick)
+}
+
+// Session returns the session record for the given session id (either
+// side), or nil.
+func (a *Agent) Session(id packet.FiveTuple) *Session { return a.sessions[id] }
+
+// Sessions returns the number of tracked sessions.
+func (a *Agent) Sessions() int { return len(a.sessions) }
+
+// EachSession visits every distinct session record at this hop.
+func (a *Agent) EachSession(fn func(*Session)) {
+	seen := make(map[*Session]bool, len(a.sessions))
+	for _, sess := range a.sessions {
+		if !seen[sess] {
+			seen[sess] = true
+			fn(sess)
+		}
+	}
+}
+
+// allocPort returns a fresh local port for a subsession.
+func (a *Agent) allocPort() packet.Port {
+	p := a.nextPort
+	a.nextPort++
+	if a.nextPort == 0 {
+		a.nextPort = 40000
+	}
+	return p
+}
+
+// newSubTuple allocates a subsession five-tuple from this host toward next.
+func (a *Agent) newSubTuple(next packet.Addr) packet.FiveTuple {
+	return packet.FiveTuple{
+		Proto:   packet.ProtoTCP,
+		SrcIP:   a.Host.Addr,
+		DstIP:   next,
+		SrcPort: a.allocPort(),
+		DstPort: a.allocPort(),
+	}
+}
+
+// ---------- egress path ----------
+
+func (a *Agent) egressHook(p *packet.Packet, dir netsim.Direction) netsim.Verdict {
+	if !p.IsTCP() {
+		return netsim.Pass
+	}
+	if e, ok := a.egress[p.Tuple]; ok {
+		if e.sess != nil && e.sess.Reconfig != nil && e.sess.Reconfig.switched && e.anchorTrack && !e.newPath {
+			// Two-path phase: steer/split between old and new paths.
+			a.steerEgress(p, e)
+			return netsim.Consume
+		}
+		if p.Flags.Has(packet.FlagSYN) && p.Flags.Has(packet.FlagACK) &&
+			e.sess != nil && e.sess.wsOfferLocal == -1 {
+			// Record the local endpoint's window-scale offer from its
+			// SYN-ACK (needed for window translation at anchors).
+			e.sess.wsOfferLocal = wsOffer(p)
+		}
+		if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) &&
+			e.dirRight && len(e.sess.Remainder) > 0 {
+			// SYN retransmission: re-attach the Dysco payload before the
+			// rewrite (the payload carries the right-side session id).
+			a.attachSynPayload(p, e.sess)
+		}
+		a.applyEgress(p, e)
+		return netsim.Pass
+	}
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+		return a.egressSYN(p)
+	}
+	return netsim.Pass
+}
+
+// egressSYN handles a SYN leaving this host with no existing mapping:
+// either a new locally-originated session (consult policy) or a SYN
+// emerging from the local middlebox application (match by tag).
+func (a *Agent) egressSYN(p *packet.Packet) netsim.Verdict {
+	if p.Opts.HasDyscoTag {
+		if sess, ok := a.tagged[p.Opts.DyscoTag]; ok {
+			a.Stats.TagsMatched++
+			delete(a.tagged, p.Opts.DyscoTag)
+			p.Opts.HasDyscoTag = false
+			p.Opts.DyscoTag = 0
+			// The app may have modified the five-tuple (NAT): the session
+			// identity on our right is whatever emerged.
+			sess.IDRight = p.Tuple
+			if sess.IDRight != sess.IDLeft {
+				a.sessions[sess.IDRight] = sess
+			}
+			if cl, ok := a.App.(Classifier); ok {
+				// §2.2: the classifier injects the next middlebox(es)
+				// into the untraversed portion of the address list.
+				if hops := cl.NextHops(sess.IDRight, p); len(hops) > 0 {
+					sess.Remainder = append(append([]packet.Addr(nil), hops...), sess.Remainder...)
+				}
+			}
+			a.continueChain(p, sess)
+			return netsim.Pass
+		}
+		// Unknown tag: strip it and let the packet go.
+		p.Opts.HasDyscoTag = false
+		p.Opts.DyscoTag = 0
+		return netsim.Pass
+	}
+	if a.Policy == nil {
+		return netsim.Pass
+	}
+	chain := a.Policy(p)
+	if len(chain) == 0 {
+		return netsim.Pass
+	}
+	if a.Cfg.TransitChaining && p.Tuple.SrcIP == a.Host.Addr {
+		return netsim.Pass // never chain the edge router's own traffic
+	}
+	sess := &Session{
+		IDLeft:       p.Tuple,
+		IDRight:      p.Tuple,
+		Remainder:    append(append([]packet.Addr(nil), chain...), p.Tuple.DstIP),
+		wsOfferLocal: wsOffer(p),
+		lastActive:   a.eng.Now(),
+	}
+	a.sessions[sess.IDLeft] = sess
+	a.Stats.SessionsOpened++
+	a.continueChain(p, sess)
+	return netsim.Pass
+}
+
+func wsOffer(p *packet.Packet) int8 {
+	if p.Opts.WScale >= 0 {
+		return p.Opts.WScale
+	}
+	return 0
+}
+
+// continueChain allocates the next subsession for a forward SYN and
+// installs the four rewrite entries for this hop, then rewrites the SYN
+// and attaches the Dysco payload.
+func (a *Agent) continueChain(p *packet.Packet, sess *Session) {
+	next := sess.Remainder[0]
+	sub := a.newSubTuple(next)
+	sess.SubRight = sub
+	sess.RightHost = next
+	// Forward: session (right side id) → subsession.
+	a.egress[sess.IDRight] = &rewriteEntry{to: sub, sess: sess, dirRight: true, anchorTrack: sess.IsLeftEnd()}
+	// Reverse: subsession back → session. Delivery goes to the local
+	// stack unless this host runs a packet app or chains transit traffic
+	// (an edge router forwards the rewritten packet onward, §2.4).
+	a.ingress[sub.Reverse()] = &rewriteEntry{
+		to: sess.IDRight.Reverse(), sess: sess, dirRight: false,
+		deliver: a.App == nil && !a.Cfg.TransitChaining, anchorTrack: sess.IsLeftEnd(),
+	}
+	a.attachSynPayload(p, sess)
+	a.applyEgress(p, a.egress[sess.IDRight])
+}
+
+func (a *Agent) attachSynPayload(p *packet.Packet, sess *Session) {
+	p.Payload = encodeSynPayload(&synPayload{Session: sess.IDRight, List: sess.Remainder})
+}
+
+// applyEgress rewrites an outgoing packet onto its subsession, applying
+// the §3.4 output-side delta to the acknowledgment number, SACK blocks,
+// timestamp echo, and rescaling the window.
+func (a *Agent) applyEgress(p *packet.Packet, e *rewriteEntry) {
+	a.track(p, e, false)
+	if e.sess != nil && e.sess.Draining {
+		a.clampWindow(p, e.sess.drainWScale)
+	}
+	if e.ackAdd != 0 && p.Flags.Has(packet.FlagACK) {
+		p.Ack = packet.SeqAdd(p.Ack, e.ackAdd)
+	}
+	if !a.Cfg.DisableOptionTranslation {
+		if e.ackAdd != 0 {
+			for i := range p.Opts.SACK {
+				p.Opts.SACK[i].Start = packet.SeqAdd(p.Opts.SACK[i].Start, e.ackAdd)
+				p.Opts.SACK[i].End = packet.SeqAdd(p.Opts.SACK[i].End, e.ackAdd)
+			}
+		}
+		if e.tsEcrAdd != 0 && p.Opts.TS != nil {
+			p.Opts.TS.Ecr = uint32(int64(p.Opts.TS.Ecr) + e.tsEcrAdd)
+		}
+		if e.winFrom != e.winTo {
+			actual := uint32(p.Window) << e.winFrom
+			scaled := actual >> e.winTo
+			if scaled > 65535 {
+				scaled = 65535
+			}
+			p.Window = uint16(scaled)
+		}
+	}
+	p.RewriteTuple(e.to)
+	a.Stats.PacketsRewritten++
+	a.chargeRewrite()
+}
+
+// applyIngress rewrites an incoming subsession packet back to the session
+// header, applying the input-side delta to the sequence number and
+// timestamp value.
+func (a *Agent) applyIngress(p *packet.Packet, e *rewriteEntry) {
+	if e.seqAdd != 0 {
+		p.Seq = packet.SeqAdd(p.Seq, e.seqAdd)
+	}
+	if !a.Cfg.DisableOptionTranslation && e.tsAdd != 0 && p.Opts.TS != nil {
+		p.Opts.TS.Val = uint32(int64(p.Opts.TS.Val) + e.tsAdd)
+	}
+	p.RewriteTuple(e.to)
+	a.track(p, e, true)
+	a.Stats.PacketsRewritten++
+	a.chargeRewrite()
+}
+
+func (a *Agent) chargeRewrite() {
+	if a.Cfg.RewriteCost > 0 {
+		a.Host.CPU.Acquire(a.Cfg.RewriteCost)
+	}
+}
+
+// clampWindow applies the configured old-path window strategy to a packet
+// this host advertises while it is being deleted (§5.3: "the Dysco agent
+// on the proxy advertises a small window to the senders").
+func (a *Agent) clampWindow(p *packet.Packet, shift int8) {
+	if a.Cfg.ZeroWindow {
+		p.Window = 0
+		return
+	}
+	if a.Cfg.WindowClamp <= 0 {
+		return
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	clamp := uint32(a.Cfg.WindowClamp) >> uint(shift)
+	if clamp == 0 {
+		clamp = 1
+	}
+	if uint32(p.Window) > clamp {
+		p.Window = uint16(clamp)
+	}
+}
+
+// seqInit seeds or advances a sequence-space counter: there is no natural
+// zero in mod-2³² space, so the first observation initializes it.
+func seqInit(val *uint32, ok *bool, v uint32) {
+	if !*ok {
+		*val, *ok = v, true
+		return
+	}
+	if packet.SeqGT(v, *val) {
+		*val = v
+	}
+}
+
+// track maintains the §3.5 counters in local sequence space. SYNs seed the
+// stream-position counters (the data stream starts at ISN+1).
+func (a *Agent) track(p *packet.Packet, e *rewriteEntry, in bool) {
+	sess := e.sess
+	if sess == nil {
+		return
+	}
+	sess.lastActive = a.eng.Now()
+	if p.Flags.Has(packet.FlagFIN) {
+		d := 0
+		if !e.dirRight {
+			d = 1
+		}
+		sess.finSeen[d] = true
+	}
+	if !e.anchorTrack {
+		return
+	}
+	if in {
+		if p.Flags.Has(packet.FlagSYN) {
+			seqInit(&sess.rcvdHi, &sess.rcvdHiOK, p.Seq+1)
+			seqInit(&sess.rcvdAckedHi, &sess.rcvdAckedOK, p.Seq+1)
+		} else if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
+			seqInit(&sess.rcvdHi, &sess.rcvdHiOK, dataSeqEnd(p))
+		}
+		if p.Flags.Has(packet.FlagACK) {
+			seqInit(&sess.sentAckedHi, &sess.sentAckedOK, p.Ack)
+		}
+		if sess.Reconfig != nil && sess.Reconfig.switched {
+			a.daemon.checkOldPathDone(sess.Reconfig)
+		}
+	} else {
+		if p.Flags.Has(packet.FlagSYN) {
+			seqInit(&sess.sentHi, &sess.sentHiOK, p.Seq+1)
+			seqInit(&sess.sentAckedHi, &sess.sentAckedOK, p.Seq) // not yet acked
+		} else if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
+			seqInit(&sess.sentHi, &sess.sentHiOK, dataSeqEnd(p))
+		}
+		if p.Flags.Has(packet.FlagACK) {
+			seqInit(&sess.rcvdAckedHi, &sess.rcvdAckedOK, p.Ack)
+		}
+	}
+	sess.seenData = true
+}
+
+// dataSeqEnd is SeqEnd ignoring the SYN bit (data stream positions only).
+func dataSeqEnd(p *packet.Packet) uint32 {
+	n := int64(p.DataLen())
+	if p.Flags.Has(packet.FlagFIN) {
+		n++
+	}
+	return packet.SeqAdd(p.Seq, n)
+}
+
+// ---------- ingress path ----------
+
+func (a *Agent) ingressHook(p *packet.Packet, dir netsim.Direction) netsim.Verdict {
+	if !p.IsTCP() {
+		return netsim.Pass
+	}
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) && p.Tuple.DstIP == a.Host.Addr {
+		if v, handled := a.ingressChainSYN(p); handled {
+			return v
+		}
+	}
+	e, ok := a.ingress[p.Tuple]
+	if !ok {
+		return netsim.Pass
+	}
+	if e.newPath && e.anchorTrack && e.sess != nil && e.sess.Reconfig != nil &&
+		!e.sess.Reconfig.switched {
+		// First new-path arrival before the NewPathACK: switch now (the
+		// peer anchor has clearly switched already).
+		a.daemon.activateSwitch(e.sess.Reconfig)
+	}
+	rc := activeReconfig(e)
+	if rc != nil && e.anchorTrack {
+		a.noteTwoPathIngress(p, e, rc)
+	}
+	a.applyIngress(p, e)
+	if e.deliver {
+		a.Host.DeliverLocal(p)
+		return netsim.Consume
+	}
+	if a.App != nil {
+		a.runApp(p, e)
+		return netsim.Consume
+	}
+	// No app and not for local delivery: re-emit (wire middlebox host
+	// acting as pure Dysco forwarder).
+	a.Host.Send(p)
+	return netsim.Consume
+}
+
+func activeReconfig(e *rewriteEntry) *Reconfig {
+	if e.sess != nil && e.sess.Reconfig != nil && e.sess.Reconfig.switched {
+		return e.sess.Reconfig
+	}
+	return nil
+}
+
+// noteTwoPathIngress updates oldRcvd/firstNewRcvd as packets arrive on
+// either path during two-path operation (§3.5), in local space.
+func (a *Agent) noteTwoPathIngress(p *packet.Packet, e *rewriteEntry, rc *Reconfig) {
+	if e.newPath {
+		if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
+			seqLocal := packet.SeqAdd(p.Seq, e.seqAdd)
+			if !rc.hasFirstNew || packet.SeqLT(seqLocal, rc.firstNewRcvd) {
+				rc.firstNewRcvd = seqLocal
+				rc.hasFirstNew = true
+			}
+			a.Stats.NewPathPackets++
+		}
+	} else {
+		a.noteOldPathIngress(p, rc)
+		a.Stats.OldPathPackets++
+	}
+	a.daemon.checkOldPathDone(rc)
+}
+
+// ingressChainSYN establishes this hop of the chain when a SYN carrying a
+// Dysco payload arrives (§2.1). Returns handled=false for non-Dysco SYNs.
+func (a *Agent) ingressChainSYN(p *packet.Packet) (netsim.Verdict, bool) {
+	sp, isDysco, err := decodeSynPayload(p.Payload)
+	if !isDysco {
+		return netsim.Pass, false
+	}
+	if err != nil {
+		return netsim.Drop, true
+	}
+	if _, dup := a.ingress[p.Tuple]; dup {
+		// SYN retransmission: entries exist; let normal processing run.
+		return a.ingressExisting(p), true
+	}
+	if len(sp.List) == 0 || sp.List[0] != a.Host.Addr {
+		// Misrouted chain SYN.
+		return netsim.Drop, true
+	}
+	sess := &Session{
+		IDLeft:     sp.Session,
+		IDRight:    sp.Session,
+		LeftHost:   p.Tuple.SrcIP,
+		SubLeft:    p.Tuple,
+		Remainder:  sp.List[1:],
+		lastActive: a.eng.Now(),
+	}
+	a.sessions[sess.IDLeft] = sess
+	a.Stats.SessionsOpened++
+	final := len(sess.Remainder) == 0
+	// Ingress: left subsession → session header.
+	a.ingress[p.Tuple] = &rewriteEntry{
+		to: sp.Session, sess: sess, dirRight: true,
+		deliver: final || a.App == nil, anchorTrack: final,
+	}
+	// Egress for the reverse direction: session reverse → left subsession
+	// reverse.
+	a.egress[sp.Session.Reverse()] = &rewriteEntry{
+		to: p.Tuple.Reverse(), sess: sess, dirRight: false, anchorTrack: final,
+	}
+	if final {
+		sess.wsOfferLocal = -1 // filled when the SYN-ACK passes on egress
+	}
+	// Strip the Dysco payload before anything above sees it.
+	p.Payload = nil
+	return a.ingressExisting(p), true
+}
+
+// ingressExisting routes a packet through the already-installed entries.
+func (a *Agent) ingressExisting(p *packet.Packet) netsim.Verdict {
+	e := a.ingress[p.Tuple]
+	if e == nil {
+		return netsim.Pass
+	}
+	if p.Flags.Has(packet.FlagSYN) {
+		p.Payload = nil // Dysco metadata never reaches applications
+	}
+	a.applyIngress(p, e)
+	if e.deliver {
+		a.Host.DeliverLocal(p)
+		return netsim.Consume
+	}
+	if a.App != nil {
+		a.runApp(p, e)
+		return netsim.Consume
+	}
+	a.Host.Send(p)
+	return netsim.Consume
+}
+
+// runApp pushes a rewritten packet through the local middlebox application
+// and re-emits its outputs (which traverse the egress hook and get mapped
+// onto the next subsession).
+func (a *Agent) runApp(p *packet.Packet, e *rewriteEntry) {
+	dir := netsim.Ingress
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) && e.dirRight {
+		// Tag forward SYNs through the app so a five-tuple-modifying app
+		// (NAT) can be matched on the way out (§2.1).
+		tag := a.nextTag
+		a.nextTag++
+		p.Opts.HasDyscoTag = true
+		p.Opts.DyscoTag = tag
+		a.tagged[tag] = e.sess
+		a.Stats.TagsApplied++
+	}
+	if !e.dirRight {
+		dir = netsim.Egress // reverse direction flows "back" through the app
+	}
+	for _, out := range a.App.Process(p, dir) {
+		a.Host.Send(out)
+	}
+}
+
+// ReportDelta lets a size-changing packet application (transcoder,
+// ad-inserter) register its current deltas for a session so that deleting
+// it fixes sequence numbers elsewhere (§3.4). The dysco_splice(fd_in,
+// fd_out, delta) library call maps here.
+func (a *Agent) ReportDelta(sessID packet.FiveTuple, d Deltas) error {
+	sess := a.sessions[sessID]
+	if sess == nil {
+		return fmt.Errorf("core: ReportDelta: unknown session %v", sessID)
+	}
+	sess.MboxDeltas = d
+	return nil
+}
+
+// removeSession drops all state for a session at this hop (idempotent).
+func (a *Agent) removeSession(sess *Session) {
+	if _, ok := a.sessions[sess.IDLeft]; !ok {
+		if _, ok2 := a.sessions[sess.IDRight]; !ok2 {
+			return
+		}
+	}
+	for k, e := range a.ingress {
+		if e.sess == sess {
+			delete(a.ingress, k)
+		}
+	}
+	for k, e := range a.egress {
+		if e.sess == sess {
+			delete(a.egress, k)
+		}
+	}
+	delete(a.sessions, sess.IDLeft)
+	delete(a.sessions, sess.IDRight)
+	a.Stats.SessionsCollected++
+}
+
+// CollectIdle removes sessions idle longer than the configured timeout and
+// fully-closed sessions. Experiments call it periodically; the paper's
+// agents time out subsessions the same way (§2.1).
+func (a *Agent) CollectIdle() int {
+	n := 0
+	now := a.eng.Now()
+	for _, sess := range a.sessions {
+		if sess.Reconfig != nil {
+			continue
+		}
+		closed := sess.finSeen[0] && sess.finSeen[1] && now-sess.lastActive > time.Second
+		idle := now-sess.lastActive > a.Cfg.IdleTimeout
+		if closed || idle {
+			a.removeSession(sess)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// BenchmarkChainedTransfer measures end-to-end throughput of a one-mbox
+// Dysco chain (agent rewrite path included) in virtual bytes per benched
+// second.
+func BenchmarkChainedTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(int64(i))
+		got := 0
+		env.sServer.Listen(80, func(c *tcp.Conn) {
+			c.OnData = func(p []byte) { got += len(p) }
+		})
+		c := env.sClient.Connect(env.server.Addr, 80, tcp.Config{})
+		c.OnEstablished = func() { c.Send(make([]byte, 1<<20)) }
+		env.eng.Run(5 * time.Second)
+		if got != 1<<20 {
+			b.Fatalf("delivered %d", got)
+		}
+		b.SetBytes(1 << 20)
+	}
+}
+
+// BenchmarkReconfiguration measures a full proxyless middlebox deletion
+// (lock, new path, two-path drain, teardown) on an active session.
+func BenchmarkReconfiguration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(int64(i))
+		env.sServer.Listen(80, func(c *tcp.Conn) {
+			c.OnData = func(p []byte) {}
+		})
+		c := env.sClient.Connect(env.server.Addr, 80, tcp.Config{})
+		c.OnEstablished = func() { c.Send(make([]byte, 256<<10)) }
+		env.eng.Run(5 * time.Millisecond)
+		ok := false
+		env.aClient.StartReconfig(c.Tuple(), ReconfigOptions{
+			RightAnchor: env.server.Addr,
+			OnDone:      func(o bool, d sim.Time) { ok = o },
+		})
+		env.eng.Run(10 * time.Second)
+		if !ok {
+			b.Fatal("reconfig failed")
+		}
+	}
+}
+
+// newBenchEnv builds the 1-mbox chain used by the package benchmarks,
+// without *testing.T plumbing.
+func newBenchEnv(seed int64) *chainEnv {
+	return newChainEnv(nil, 1, netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)}, seed)
+}
+
+// BenchmarkAgentRewrite measures the raw per-packet rewrite path.
+func BenchmarkAgentRewrite(b *testing.B) {
+	env := newBenchEnv(1)
+	a := env.aClient
+	sess := &Session{IDLeft: packet.FiveTuple{SrcIP: 1, DstIP: 2}, IDRight: packet.FiveTuple{SrcIP: 1, DstIP: 2}}
+	e := &rewriteEntry{
+		to:   packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
+		sess: sess, ackAdd: -12345, tsEcrAdd: -77,
+	}
+	p := packet.NewTCP(packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4},
+		packet.FlagACK, 100, 200, make([]byte, 1400))
+	p.Opts.TS = &packet.Timestamp{Val: 1, Ecr: 2}
+	a.Cfg.RewriteCost = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.applyEgress(p, e)
+	}
+}

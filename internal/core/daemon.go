@@ -1,0 +1,1097 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// msgType enumerates the UDP control messages of the reconfiguration
+// protocol (§3.3 — they are UDP datagrams, not TCP).
+type msgType uint8
+
+// Control message types.
+const (
+	msgTrigger msgType = iota + 1
+	msgReqLock
+	msgAckLock
+	msgNackLock
+	msgCancelLock
+	msgAckCancel
+	msgNewPathSYN
+	msgNewPathSYNACK
+	msgNewPathACK
+	msgOldPathFIN
+	msgStateReq
+	msgStateInstall
+	msgStateInstalled
+	msgStateReady
+	msgHeartbeat
+)
+
+var msgNames = map[msgType]string{
+	msgTrigger: "trigger", msgReqLock: "requestLock", msgAckLock: "ackLock",
+	msgNackLock: "nackLock", msgCancelLock: "cancelLock", msgAckCancel: "ackCancel",
+	msgNewPathSYN: "newPathSYN", msgNewPathSYNACK: "newPathSYNACK",
+	msgNewPathACK: "newPathACK", msgOldPathFIN: "oldPathFIN",
+	msgStateReq: "stateReq", msgStateInstall: "stateInstall",
+	msgStateInstalled: "stateInstalled", msgStateReady: "stateReady",
+	msgHeartbeat: "heartbeat",
+}
+
+func (t msgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// ctrlMsg is the wire format of a control message. Every message carries
+// the session identifier as understood at the receiving hop; agents with
+// spliced sessions translate it when forwarding (§3.1). Serialized as JSON
+// like the prototype's daemon (§4.1 uses a simple serialization library).
+type ctrlMsg struct {
+	Type        msgType
+	ReqID       uint64
+	Session     packet.FiveTuple
+	LeftAnchor  packet.Addr
+	RightAnchor packet.Addr
+	// NewList is the new path: middleboxes then right anchor (§3.1).
+	NewList []packet.Addr
+	// NewSub is the subsession five-tuple for the current new-path hop.
+	NewSub packet.FiveTuple
+	// D accumulates deltas along the old path (§3.4).
+	D Deltas
+	// State transfer (Figure 15).
+	StateFrom packet.Addr
+	StateTo   packet.Addr
+	State     []byte `json:",omitempty"`
+
+	from packet.Addr // sender host; filled by the receiver, not serialized
+}
+
+// daemon is the user-space reconfiguration engine attached to an agent.
+type daemon struct {
+	a         *Agent
+	eng       *sim.Engine
+	nextReqID uint64
+	// reconfigs tracks attempts where this host is an anchor, by ReqID.
+	reconfigs map[uint64]*Reconfig
+	// newPathSeen dedups NewPathSYN processing at mid new-path hops.
+	newPathSeen map[uint64]packet.FiveTuple // ReqID → allocated next-hop sub
+	newPathPrev map[uint64]packet.Addr      // ReqID → left neighbor on new path
+	// stateStaged dedups state-transfer requests at middleboxes: once the
+	// export is staged, retransmitted requests re-send the same install
+	// message instead of re-running the export.
+	stateStaged map[uint64]*ctrlMsg
+	// stateImported dedups installs at the receiving middlebox.
+	stateImported map[uint64]bool
+}
+
+func newDaemon(a *Agent) *daemon {
+	return &daemon{
+		a:             a,
+		eng:           a.eng,
+		reconfigs:     make(map[uint64]*Reconfig),
+		newPathSeen:   make(map[uint64]packet.FiveTuple),
+		newPathPrev:   make(map[uint64]packet.Addr),
+		stateStaged:   make(map[uint64]*ctrlMsg),
+		stateImported: make(map[uint64]bool),
+	}
+}
+
+// send serializes and transmits a control message to the daemon on host to.
+func (d *daemon) send(to packet.Addr, m *ctrlMsg) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		panic("core: control message marshal: " + err.Error())
+	}
+	p := packet.NewUDP(packet.FiveTuple{
+		SrcIP: d.a.Host.Addr, DstIP: to,
+		SrcPort: DaemonPort, DstPort: DaemonPort,
+	}, body)
+	d.a.Host.Send(p)
+}
+
+// handleUDP is bound to DaemonPort.
+func (d *daemon) handleUDP(p *packet.Packet) {
+	var m ctrlMsg
+	if err := json.Unmarshal(p.Payload, &m); err != nil {
+		return
+	}
+	m.from = p.Tuple.SrcIP
+	switch m.Type {
+	case msgTrigger:
+		d.onTrigger(&m)
+	case msgReqLock:
+		d.onReqLock(&m)
+	case msgAckLock:
+		d.onAckLock(&m)
+	case msgNackLock:
+		d.onNackLock(&m)
+	case msgCancelLock:
+		d.onCancelLock(&m)
+	case msgAckCancel:
+		d.onAckCancel(&m)
+	case msgNewPathSYN:
+		d.onNewPathSYN(&m)
+	case msgNewPathSYNACK:
+		d.onNewPathSYNACK(&m)
+	case msgNewPathACK:
+		d.onNewPathACK(&m)
+	case msgOldPathFIN:
+		d.onOldPathFIN(&m)
+	case msgStateReq:
+		d.onStateReq(&m)
+	case msgStateInstall:
+		d.onStateInstall(&m)
+	case msgStateInstalled:
+		d.onStateInstalled(&m)
+	case msgStateReady:
+		d.onStateReady(&m)
+	case msgHeartbeat:
+		// A neighbor vouches for the session: refresh its idle clock
+		// (§2.1 keepalive).
+		if sess := d.sessionByID(m.Session); sess != nil {
+			sess.lastActive = d.eng.Now()
+		}
+	}
+}
+
+// ---------- reconfiguration start ----------
+
+// ReconfigOptions parameterizes StartReconfig.
+type ReconfigOptions struct {
+	// RightAnchor is the address of the right anchor (required).
+	RightAnchor packet.Addr
+	// NewMiddleboxes are inserted between the anchors on the new path
+	// (empty = direct, i.e. deletion of everything in the segment).
+	NewMiddleboxes []packet.Addr
+	// StateFrom/StateTo request middlebox state transfer before the new
+	// path is used (replacement of a stateful middlebox, Figure 15).
+	StateFrom packet.Addr
+	StateTo   packet.Addr
+	// OnDone reports completion. ok=false means nacked, cancelled, or the
+	// new path could not be set up (§3.6).
+	OnDone func(ok bool, took sim.Time)
+}
+
+// StartReconfig makes this agent the left anchor of a reconfiguration of
+// sess's segment up to opt.RightAnchor (§3.1). The session must exist here
+// or be resolvable through FindConn (a plain TCP session whose chain
+// segment starts here).
+func (a *Agent) StartReconfig(sessID packet.FiveTuple, opt ReconfigOptions) error {
+	return a.daemon.startReconfig(sessID, opt)
+}
+
+// FindConnFunc resolves a local TCP connection by its local five-tuple so
+// the daemon can anchor plain (non-chained) TCP sessions.
+type FindConnFunc func(local packet.FiveTuple) ConnView
+
+// ConnView is the read-only view of a local TCP connection the daemon
+// needs when anchoring a session that was not established through Dysco.
+type ConnView interface {
+	SndNxt() uint32
+	SndUna() uint32
+	RcvNxt() uint32
+	RcvWScale() int8
+}
+
+// FindConn, when set, lets the daemon anchor plain TCP sessions (§2.4: a
+// service chain may cover only part of a TCP session).
+func (a *Agent) SetFindConn(f FindConnFunc) { a.findConn = f }
+
+func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) error {
+	a := d.a
+	if opt.RightAnchor == 0 {
+		return fmt.Errorf("core: StartReconfig: no right anchor")
+	}
+	sess := a.sessions[sessID]
+	if sess == nil {
+		var err error
+		sess, err = d.adoptPlainSession(sessID, true)
+		if err != nil {
+			return err
+		}
+	}
+	if sess.Reconfig != nil && sess.Reconfig.State != RcDone && sess.Reconfig.State != RcFailed {
+		return fmt.Errorf("core: session %v already reconfiguring", sessID)
+	}
+	if sess.Lock != Unlocked {
+		return fmt.Errorf("core: session %v segment is %v", sessID, sess.Lock)
+	}
+	d.nextReqID++
+	rc := &Reconfig{
+		ID:        uint64(a.Host.Addr)<<24 | d.nextReqID,
+		State:     RcLocking,
+		IsLeft:    true,
+		Sess:      sess,
+		PeerAddr:  opt.RightAnchor,
+		NewList:   append(append([]packet.Addr(nil), opt.NewMiddleboxes...), opt.RightAnchor),
+		StateFrom: opt.StateFrom,
+		StateTo:   opt.StateTo,
+		started:   d.eng.Now(),
+		onDone:    opt.OnDone,
+	}
+	rc.rtxTimer = sim.NewTimer(d.eng, func() { d.onCtrlTimeout(rc) })
+	sess.Reconfig = rc
+	d.reconfigs[rc.ID] = rc
+	a.Stats.ReconfigsStarted++
+
+	sess.Lock = LockPending
+	sess.LockReqID = rc.ID
+	sess.Requestor = a.Host.Addr
+	req := &ctrlMsg{
+		Type: msgReqLock, ReqID: rc.ID,
+		Session:     sess.IDRight,
+		LeftAnchor:  a.Host.Addr,
+		RightAnchor: opt.RightAnchor,
+		NewList:     rc.NewList,
+		StateFrom:   opt.StateFrom,
+		StateTo:     opt.StateTo,
+	}
+	req.D.Right = sess.MboxDeltas.Right // a left anchor that is itself a middlebox
+	d.sendReliable(rc, sess.RightHost, req)
+	return nil
+}
+
+// adoptPlainSession creates a session record (with identity rewrite
+// entries for anchor tracking) for a TCP session this agent did not chain.
+func (d *daemon) adoptPlainSession(id packet.FiveTuple, leftSide bool) (*Session, error) {
+	a := d.a
+	if a.findConn == nil {
+		return nil, fmt.Errorf("core: unknown session %v and no FindConn", id)
+	}
+	// The local connection's tuple: at the left end the forward tuple is
+	// local (Src = us); at the right end the reverse is.
+	local := id
+	if !leftSide {
+		local = id.Reverse()
+	}
+	cv := a.findConn(local)
+	if cv == nil {
+		return nil, fmt.Errorf("core: no local connection for session %v", id)
+	}
+	sess := &Session{
+		IDLeft: id, IDRight: id,
+		lastActive:   d.eng.Now(),
+		wsOfferLocal: cv.RcvWScale(),
+		sentHi:       cv.SndNxt(),
+		sentAckedHi:  cv.SndUna(),
+		rcvdHi:       cv.RcvNxt(),
+		rcvdAckedHi:  cv.RcvNxt(),
+		sentHiOK:     true, sentAckedOK: true, rcvdHiOK: true, rcvdAckedOK: true,
+		seenData: true,
+	}
+	if leftSide {
+		sess.RightHost = id.DstIP
+		sess.SubRight = id
+		a.egress[id] = &rewriteEntry{to: id, sess: sess, dirRight: true, anchorTrack: true}
+		a.ingress[id.Reverse()] = &rewriteEntry{to: id.Reverse(), sess: sess, dirRight: false, deliver: true, anchorTrack: true}
+	} else {
+		sess.LeftHost = id.SrcIP
+		sess.SubLeft = id
+		a.egress[id.Reverse()] = &rewriteEntry{to: id.Reverse(), sess: sess, dirRight: false, anchorTrack: true}
+		a.ingress[id] = &rewriteEntry{to: id, sess: sess, dirRight: true, deliver: true, anchorTrack: true}
+	}
+	a.sessions[id] = sess
+	return sess, nil
+}
+
+// sendReliable transmits m and arms the anchor's retransmission timer.
+func (d *daemon) sendReliable(rc *Reconfig, to packet.Addr, m *ctrlMsg) {
+	rc.lastMsg = m
+	rc.lastMsgTo = to
+	rc.retries = 0
+	d.send(to, m)
+	rc.rtxTimer.Reset(d.a.Cfg.ControlRTO)
+}
+
+func (d *daemon) onCtrlTimeout(rc *Reconfig) {
+	if rc.State == RcDone || rc.State == RcFailed || rc.lastMsg == nil {
+		return
+	}
+	rc.retries++
+	d.a.Stats.CtrlRetransmits++
+	if rc.retries > d.a.Cfg.MaxControlRetries {
+		// New path (or peer) unreachable: abort and cancel locks (§3.6).
+		d.abortReconfig(rc)
+		return
+	}
+	d.send(rc.lastMsgTo, rc.lastMsg)
+	rc.rtxTimer.Reset(d.a.Cfg.ControlRTO * sim.Time(1<<uint(rc.retries-1)))
+}
+
+// ackReceived stops the retransmission cycle for the outstanding message.
+func (rc *Reconfig) ackReceived() {
+	rc.lastMsg = nil
+	rc.rtxTimer.Stop()
+}
+
+// abortReconfig cancels a failed attempt: the session continues on the old
+// path and the locked subsessions are released with cancelLock (§3.6).
+func (d *daemon) abortReconfig(rc *Reconfig) {
+	if rc.State == RcDone || rc.State == RcFailed {
+		return
+	}
+	sess := rc.Sess
+	if rc.State != RcLocking {
+		// Segment was locked: release it along the old path.
+		d.send(sess.RightHost, &ctrlMsg{
+			Type: msgCancelLock, ReqID: rc.ID, Session: sess.IDRight,
+			LeftAnchor: d.a.Host.Addr, RightAnchor: rc.PeerAddr,
+		})
+	}
+	sess.Lock = Unlocked
+	d.finishReconfig(rc, false)
+}
+
+func (d *daemon) finishReconfig(rc *Reconfig, ok bool) {
+	if rc.State == RcDone || rc.State == RcFailed {
+		return
+	}
+	if ok {
+		rc.State = RcDone
+		d.a.Stats.ReconfigsDone++
+	} else {
+		rc.State = RcFailed
+		d.a.Stats.ReconfigsFailed++
+	}
+	rc.rtxTimer.Stop()
+	rc.Sess.Reconfig = nil
+	took := d.eng.Now() - rc.started
+	if rc.onDone != nil {
+		rc.onDone(ok, took)
+	}
+	if d.a.OnReconfigDone != nil {
+		d.a.OnReconfigDone(rc.Sess.IDLeft, ok, took)
+	}
+	delete(d.reconfigs, rc.ID)
+	d.processBlocked(rc.Sess)
+}
+
+// ---------- trigger ----------
+
+// TriggerRemoval asks this middlebox's left neighbor to become left anchor
+// and delete this host from the session's chain (§3.1: "if a middlebox
+// wants to delete itself, it sends a triggering packet to the agent on its
+// left with the address list [myRightNeighbor]").
+func (a *Agent) TriggerRemoval(sessID packet.FiveTuple) error {
+	return a.TriggerReplace(sessID, nil)
+}
+
+// TriggerReplace asks this middlebox's left neighbor to replace this host
+// (and anything up to its right neighbor) with the given middlebox list —
+// the maintenance command of §2.2. An empty list deletes the hop. The
+// trigger is re-sent (bounded) until the resulting lock request is seen
+// passing through this hop, so a lost trigger does not silently drop the
+// reconfiguration.
+func (a *Agent) TriggerReplace(sessID packet.FiveTuple, replacement []packet.Addr) error {
+	return a.daemon.trigger(sessID, replacement, 0, 0, 0)
+}
+
+// TriggerReplaceWithState is TriggerReplace plus middlebox state transfer:
+// the left anchor will move this session's state from stateFrom to stateTo
+// before switching paths (the §2.2 maintenance command for stateful
+// middleboxes; Figure 15).
+func (a *Agent) TriggerReplaceWithState(sessID packet.FiveTuple, replacement []packet.Addr, stateFrom, stateTo packet.Addr) error {
+	return a.daemon.trigger(sessID, replacement, 0, stateFrom, stateTo)
+}
+
+func (d *daemon) trigger(sessID packet.FiveTuple, replacement []packet.Addr, attempt int, stateFrom, stateTo packet.Addr) error {
+	a := d.a
+	sess := a.sessions[sessID]
+	if sess == nil {
+		if attempt > 0 {
+			return nil // session reconfigured away in the meantime
+		}
+		return fmt.Errorf("core: TriggerReplace: unknown session %v", sessID)
+	}
+	right := sess
+	if sess.Splice != nil {
+		right = sess.Splice
+	}
+	if sess.LeftHost == 0 || right.RightHost == 0 {
+		return fmt.Errorf("core: TriggerReplace: %v has no neighbors on both sides", sessID)
+	}
+	if attempt > 0 && sess.Lock != Unlocked {
+		return nil // the lock request came through: trigger delivered
+	}
+	if attempt > a.Cfg.MaxControlRetries {
+		return nil // give up quietly; the caller may re-trigger
+	}
+	d.send(sess.LeftHost, &ctrlMsg{
+		Type:        msgTrigger,
+		Session:     sess.IDLeft,
+		RightAnchor: right.RightHost,
+		NewList:     replacement,
+		StateFrom:   stateFrom,
+		StateTo:     stateTo,
+	})
+	d.eng.Schedule(4*a.Cfg.ControlRTO*sim.Time(1<<uint(min(attempt, 6))), func() {
+		d.trigger(sessID, replacement, attempt+1, stateFrom, stateTo)
+	})
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (d *daemon) onTrigger(m *ctrlMsg) {
+	// The session id in a trigger is as the sender (our right neighbor)
+	// knows it on its left, which equals our right-side id.
+	err := d.startReconfig(m.Session, ReconfigOptions{
+		RightAnchor:    m.RightAnchor,
+		NewMiddleboxes: m.NewList,
+		StateFrom:      m.StateFrom,
+		StateTo:        m.StateTo,
+	})
+	_ = err // a failed trigger (e.g. contention) is simply dropped; the
+	// middlebox may trigger again
+}
+
+// ---------- locking (§3.2) ----------
+
+// sessionByID finds a session by the id used on the side the message came
+// from (left side for rightward messages, right side for leftward).
+func (d *daemon) sessionByID(id packet.FiveTuple) *Session {
+	return d.a.sessions[id]
+}
+
+func (d *daemon) onReqLock(m *ctrlMsg) {
+	a := d.a
+	if m.RightAnchor == a.Host.Addr {
+		d.reqLockAtRightAnchor(m)
+		return
+	}
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		return // unknown session: drop; left anchor will time out
+	}
+	// Retransmission of the request we already forwarded: forward again.
+	if (sess.Lock == LockPending || sess.Lock == Locked) && sess.LockReqID == m.ReqID {
+		d.forwardReqLock(sess, m)
+		return
+	}
+	if sess.Lock != Unlocked {
+		// Contention: block the request until our own resolves (§3.2).
+		for _, b := range sess.blocked {
+			if b.ReqID == m.ReqID {
+				return // duplicate of an already-blocked request
+			}
+		}
+		sess.blocked = append(sess.blocked, m)
+		return
+	}
+	sess.Lock = LockPending
+	sess.LockReqID = m.ReqID
+	sess.Requestor = m.LeftAnchor
+	d.forwardReqLock(sess, m)
+}
+
+// forwardReqLock adds this hop's deltas and sends the request to the right
+// neighbor, translating the session id across a splice.
+func (d *daemon) forwardReqLock(sess *Session, m *ctrlMsg) {
+	next := sess
+	if sess.Splice != nil {
+		next = sess.Splice
+	}
+	fwd := *m
+	fwd.Session = next.IDRight
+	fwd.D.Right += sess.MboxDeltas.Right
+	fwd.D.RightTS += sess.MboxDeltas.RightTS
+	if sess.MboxDeltas.RightWinFrom != sess.MboxDeltas.RightWinTo {
+		fwd.D.RightWinFrom = sess.MboxDeltas.RightWinFrom
+		fwd.D.RightWinTo = sess.MboxDeltas.RightWinTo
+	}
+	if sess.MboxDeltas.LeftWinFrom != sess.MboxDeltas.LeftWinTo {
+		fwd.D.LeftWinFrom = sess.MboxDeltas.LeftWinFrom
+		fwd.D.LeftWinTo = sess.MboxDeltas.LeftWinTo
+	}
+	fwd.D.Left += sess.MboxDeltas.Left
+	fwd.D.LeftTS += sess.MboxDeltas.LeftTS
+	d.send(next.RightHost, &fwd)
+}
+
+// reqLockAtRightAnchor accepts the lock and becomes the right anchor.
+func (d *daemon) reqLockAtRightAnchor(m *ctrlMsg) {
+	a := d.a
+	if rc, ok := d.reconfigs[m.ReqID]; ok {
+		// Retransmitted request: resend the ack.
+		d.replyAckLock(rc, m)
+		return
+	}
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		var err error
+		sess, err = d.adoptPlainSession(m.Session, false)
+		if err != nil {
+			return
+		}
+	}
+	if sess.Reconfig != nil {
+		return // already the anchor of something else
+	}
+	rc := &Reconfig{
+		ID: m.ReqID, State: RcSettingUp, IsLeft: false, Sess: sess,
+		PeerAddr: m.LeftAnchor,
+		Delta:    m.D.Right, TSDelta: m.D.RightTS,
+		WinFrom: m.D.RightWinFrom, WinTo: m.D.RightWinTo,
+		started: d.eng.Now(),
+	}
+	rc.rtxTimer = sim.NewTimer(d.eng, func() { d.onCtrlTimeout(rc) })
+	sess.Reconfig = rc
+	d.reconfigs[rc.ID] = rc
+	a.Stats.LocksGranted++
+	d.replyAckLock(rc, m)
+}
+
+func (d *daemon) replyAckLock(rc *Reconfig, m *ctrlMsg) {
+	ack := &ctrlMsg{
+		Type: msgAckLock, ReqID: m.ReqID,
+		Session:    rc.Sess.IDLeft,
+		LeftAnchor: m.LeftAnchor, RightAnchor: d.a.Host.Addr,
+	}
+	ack.D.Left = rc.Sess.MboxDeltas.Left // right anchor that is itself a middlebox
+	d.send(rc.Sess.LeftHost, ack)
+}
+
+func (d *daemon) onAckLock(m *ctrlMsg) {
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		return
+	}
+	// Left anchor?
+	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft {
+		if rc.State != RcLocking {
+			return // duplicate
+		}
+		sess.Lock = Locked
+		rc.Delta = m.D.Left
+		rc.TSDelta = m.D.LeftTS
+		rc.WinFrom, rc.WinTo = m.D.LeftWinFrom, m.D.LeftWinTo
+		rc.ackReceived()
+		d.nackBlocked(sess)
+		d.beginNewPath(rc)
+		return
+	}
+	// Mid-path agent. The ack arrives from the right with our right-side
+	// session id; the lock state lives on the left-side session of a
+	// splice.
+	lockSess := sess
+	if sess.Splice != nil {
+		lockSess = sess.Splice
+	}
+	if lockSess.Lock == LockPending && lockSess.LockReqID == m.ReqID {
+		lockSess.Lock = Locked
+		d.nackBlocked(lockSess)
+	} else if !(lockSess.Lock == Locked && lockSess.LockReqID == m.ReqID) {
+		return // stale
+	}
+	fwd := *m
+	fwd.Session = lockSess.IDLeft
+	fwd.D.Left += lockSess.MboxDeltas.Left
+	fwd.D.LeftTS += lockSess.MboxDeltas.LeftTS
+	if lockSess.MboxDeltas.LeftWinFrom != lockSess.MboxDeltas.LeftWinTo {
+		fwd.D.LeftWinFrom = lockSess.MboxDeltas.LeftWinFrom
+		fwd.D.LeftWinTo = lockSess.MboxDeltas.LeftWinTo
+	}
+	d.send(lockSess.LeftHost, &fwd)
+}
+
+// nackBlocked rejects all requests blocked behind a now-locked subsession.
+func (d *daemon) nackBlocked(sess *Session) {
+	for _, b := range sess.blocked {
+		d.a.Stats.LocksNacked++
+		d.send(b.from, &ctrlMsg{
+			Type: msgNackLock, ReqID: b.ReqID, Session: b.Session,
+			LeftAnchor: b.LeftAnchor, RightAnchor: b.RightAnchor,
+		})
+	}
+	sess.blocked = nil
+}
+
+// processBlocked forwards the oldest blocked request once the subsession
+// unlocks.
+func (d *daemon) processBlocked(sess *Session) {
+	if sess.Lock != Unlocked || len(sess.blocked) == 0 {
+		return
+	}
+	next := sess.blocked[0]
+	sess.blocked = sess.blocked[1:]
+	d.onReqLock(next)
+}
+
+func (d *daemon) onNackLock(m *ctrlMsg) {
+	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft {
+		// Our request lost the contention: exactly one of the contending
+		// left anchors wins (§3.2, verified property P1).
+		rc.Sess.Lock = Unlocked
+		rc.ackReceived()
+		d.finishReconfig(rc, false)
+		return
+	}
+	// Mid-path: reset our pending state and pass the nack leftward along
+	// the nacked request's path. The nack arrives from the right with our
+	// right-side session id; lock state lives on the splice's left side.
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		return
+	}
+	lockSess := sess
+	if sess.Splice != nil {
+		lockSess = sess.Splice
+	}
+	if lockSess.Lock == LockPending && lockSess.LockReqID == m.ReqID {
+		lockSess.Lock = Unlocked
+		d.processBlocked(lockSess)
+	}
+	if lockSess.LeftHost != 0 && m.LeftAnchor != d.a.Host.Addr {
+		fwd := *m
+		fwd.Session = lockSess.IDLeft
+		d.send(lockSess.LeftHost, &fwd)
+	}
+}
+
+func (d *daemon) onCancelLock(m *ctrlMsg) {
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		return
+	}
+	if m.RightAnchor == d.a.Host.Addr {
+		if rc, ok := d.reconfigs[m.ReqID]; ok {
+			d.teardownNewPathEntries(rc)
+			d.finishReconfig(rc, false)
+		}
+		d.send(m.from, &ctrlMsg{Type: msgAckCancel, ReqID: m.ReqID, Session: sess.IDLeft})
+		return
+	}
+	if sess.LockReqID == m.ReqID && sess.Lock != Unlocked {
+		sess.Lock = Unlocked
+		d.processBlocked(sess)
+	}
+	next := sess
+	if sess.Splice != nil {
+		next = sess.Splice
+	}
+	fwd := *m
+	fwd.Session = next.IDRight
+	d.send(next.RightHost, &fwd)
+}
+
+func (d *daemon) onAckCancel(m *ctrlMsg) {
+	// Informational: the left anchor already unlocked and failed locally.
+}
+
+// ---------- new path setup (§3.1, Figure 4) ----------
+
+func (d *daemon) beginNewPath(rc *Reconfig) {
+	a := d.a
+	rc.State = RcSettingUp
+	first := rc.NewList[0]
+	rc.newPeerHost = first
+	rc.newSub = a.newSubTuple(first)
+	d.installLeftAnchorNewPath(rc)
+	m := &ctrlMsg{
+		Type: msgNewPathSYN, ReqID: rc.ID,
+		Session:    rc.Sess.IDRight,
+		LeftAnchor: a.Host.Addr, RightAnchor: rc.PeerAddr,
+		NewList: rc.NewList[1:],
+		NewSub:  rc.newSub,
+	}
+	d.sendReliable(rc, first, m)
+}
+
+// installLeftAnchorNewPath creates the left anchor's new-path entries:
+// ingress is active immediately (early new-path arrivals must be handled);
+// egress is staged in rc and activated at switch time.
+func (d *daemon) installLeftAnchorNewPath(rc *Reconfig) {
+	a := d.a
+	sess := rc.Sess
+	oldIn := a.ingress[sess.SubRight.Reverse()]
+	deliver := true
+	var to packet.FiveTuple
+	if oldIn != nil {
+		deliver = oldIn.deliver
+		to = oldIn.to
+	} else {
+		to = sess.IDRight.Reverse()
+	}
+	a.ingress[rc.newSub.Reverse()] = &rewriteEntry{
+		to: to, sess: sess, dirRight: false, deliver: deliver,
+		anchorTrack: true, newPath: true,
+		seqAdd: rc.Delta, tsAdd: rc.TSDelta,
+	}
+	rc.newEgressEntry = &rewriteEntry{
+		to: rc.newSub, sess: sess, dirRight: true,
+		anchorTrack: true, newPath: true,
+		ackAdd: -rc.Delta, tsEcrAdd: -rc.TSDelta,
+		winFrom: rc.WinFrom, winTo: rc.WinTo,
+	}
+	rc.oldEgressKey = sess.IDRight
+	rc.oldIngressKey = sess.SubRight.Reverse()
+}
+
+func (d *daemon) onNewPathSYN(m *ctrlMsg) {
+	a := d.a
+	if m.RightAnchor == a.Host.Addr {
+		d.newPathSYNAtRightAnchor(m)
+		return
+	}
+	// Mid new-path middlebox: install entries for both directions and
+	// forward. Idempotent via newPathSeen.
+	if len(m.NewList) == 0 {
+		return
+	}
+	if sub, seen := d.newPathSeen[m.ReqID]; seen {
+		// Retransmitted SYN: forward again with the same allocation.
+		fwd := *m
+		fwd.NewSub = sub
+		fwd.NewList = m.NewList[1:]
+		d.send(m.NewList[0], &fwd)
+		return
+	}
+	sess := a.sessions[m.Session]
+	if sess == nil {
+		sess = &Session{
+			IDLeft: m.Session, IDRight: m.Session,
+			LeftHost:   m.from,
+			SubLeft:    m.NewSub,
+			lastActive: d.eng.Now(),
+		}
+		a.sessions[m.Session] = sess
+		a.Stats.SessionsOpened++
+	}
+	next := m.NewList[0]
+	sub := a.newSubTuple(next)
+	sess.RightHost = next
+	sess.SubRight = sub
+	// Forward direction.
+	a.ingress[m.NewSub] = &rewriteEntry{to: m.Session, sess: sess, dirRight: true, deliver: a.App == nil}
+	a.egress[m.Session] = &rewriteEntry{to: sub, sess: sess, dirRight: true}
+	// Reverse direction.
+	a.ingress[sub.Reverse()] = &rewriteEntry{to: m.Session.Reverse(), sess: sess, dirRight: false, deliver: a.App == nil}
+	a.egress[m.Session.Reverse()] = &rewriteEntry{to: m.NewSub.Reverse(), sess: sess, dirRight: false}
+	d.newPathSeen[m.ReqID] = sub
+	d.newPathPrev[m.ReqID] = m.from
+	fwd := *m
+	fwd.NewSub = sub
+	fwd.NewList = m.NewList[1:]
+	d.send(next, &fwd)
+}
+
+func (d *daemon) newPathSYNAtRightAnchor(m *ctrlMsg) {
+	a := d.a
+	rc, ok := d.reconfigs[m.ReqID]
+	if !ok {
+		return // no lock context (or already finished): ignore
+	}
+	sess := rc.Sess
+	rc.newSub = m.NewSub
+	rc.newPeerHost = m.from
+	// Ingress from new path → local session (right side: IDLeft is what
+	// the local stack speaks).
+	oldIn := a.ingress[sess.SubLeft]
+	deliver := true
+	to := sess.IDLeft
+	if oldIn != nil {
+		deliver = oldIn.deliver
+		to = oldIn.to
+	}
+	a.ingress[m.NewSub] = &rewriteEntry{
+		to: to, sess: sess, dirRight: true, deliver: deliver,
+		anchorTrack: true, newPath: true,
+		seqAdd: rc.Delta, tsAdd: rc.TSDelta,
+	}
+	rc.newEgressEntry = &rewriteEntry{
+		to: m.NewSub.Reverse(), sess: sess, dirRight: false,
+		anchorTrack: true, newPath: true,
+		ackAdd: -rc.Delta, tsEcrAdd: -rc.TSDelta,
+		winFrom: rc.WinFrom, winTo: rc.WinTo,
+	}
+	rc.oldEgressKey = sess.IDLeft.Reverse()
+	rc.oldIngressKey = sess.SubLeft
+	d.send(m.from, &ctrlMsg{
+		Type: msgNewPathSYNACK, ReqID: m.ReqID, Session: sess.IDLeft,
+		LeftAnchor: m.LeftAnchor, RightAnchor: a.Host.Addr,
+	})
+}
+
+func (d *daemon) onNewPathSYNACK(m *ctrlMsg) {
+	a := d.a
+	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft {
+		if rc.State != RcSettingUp {
+			return // duplicate
+		}
+		rc.ackReceived()
+		if rc.StateFrom != 0 {
+			// Replacement of a stateful middlebox: transfer state before
+			// using the new path (Figure 15).
+			rc.State = RcStateWait
+			d.sendReliable(rc, rc.StateFrom, &ctrlMsg{
+				Type: msgStateReq, ReqID: rc.ID, Session: rc.Sess.IDRight,
+				StateFrom: rc.StateFrom, StateTo: rc.StateTo,
+				LeftAnchor: a.Host.Addr, RightAnchor: rc.PeerAddr,
+			})
+			return
+		}
+		d.leftAnchorSwitch(rc)
+		return
+	}
+	// Mid new-path agent: pass the SYN-ACK toward the left anchor.
+	if prev, ok := d.newPathPrev[m.ReqID]; ok {
+		d.send(prev, m)
+	}
+}
+
+func (d *daemon) leftAnchorSwitch(rc *Reconfig) {
+	d.send(rc.PeerAddr, &ctrlMsg{
+		Type: msgNewPathACK, ReqID: rc.ID, Session: rc.Sess.IDRight,
+		LeftAnchor: d.a.Host.Addr, RightAnchor: rc.PeerAddr,
+	})
+	d.activateSwitch(rc)
+}
+
+func (d *daemon) onNewPathACK(m *ctrlMsg) {
+	if rc, ok := d.reconfigs[m.ReqID]; ok && !rc.IsLeft {
+		d.activateSwitch(rc)
+	}
+}
+
+// activateSwitch enters the two-path phase (§3.5): freeze oldSent and
+// start steering new data onto the new path.
+func (d *daemon) activateSwitch(rc *Reconfig) {
+	if rc.switched || rc.State == RcDone || rc.State == RcFailed {
+		return
+	}
+	rc.switched = true
+	rc.State = RcTwoPath
+	rc.switchAt = d.eng.Now()
+	if rc.IsLeft && d.a.OnReconfigSwitch != nil {
+		d.a.OnReconfigSwitch(rc.Sess.IDLeft, rc.switchAt-rc.started)
+	}
+	sess := rc.Sess
+	rc.oldSent = sess.sentHi
+	rc.oldRcvd = sess.rcvdHi
+	rc.oldRcvdAcked = sess.rcvdAckedHi
+	d.checkOldPathDone(rc)
+}
+
+// teardownNewPathEntries removes staged new-path state after a cancel.
+func (d *daemon) teardownNewPathEntries(rc *Reconfig) {
+	if rc.newSub != (packet.FiveTuple{}) {
+		if rc.IsLeft {
+			delete(d.a.ingress, rc.newSub.Reverse())
+		} else {
+			delete(d.a.ingress, rc.newSub)
+		}
+	}
+}
+
+// ---------- old path completion (§3.5) ----------
+
+// checkOldPathDone sends the UDP FIN when this anchor has nothing more for
+// the old path, and finalizes when both FINs are in and the receive side
+// is complete.
+func (d *daemon) checkOldPathDone(rc *Reconfig) {
+	if !rc.switched || rc.State != RcTwoPath {
+		return
+	}
+	if !rc.sentOldFIN && packet.SeqGEQ(rc.Sess.sentAckedHi, rc.oldSent) {
+		rc.sentOldFIN = true
+		fin := &ctrlMsg{Type: msgOldPathFIN, ReqID: rc.ID}
+		if rc.IsLeft {
+			fin.Session = rc.Sess.IDRight
+			d.send(rc.Sess.RightHost, fin)
+		} else {
+			fin.Session = rc.Sess.IDLeft
+			d.send(rc.Sess.LeftHost, fin)
+		}
+	}
+	recvDone := packet.SeqGEQ(rc.oldRcvdAcked, rc.oldRcvd) &&
+		((rc.hasFirstNew && rc.firstNewRcvd == rc.oldRcvd) || rc.rcvdOldFIN)
+	if rc.sentOldFIN && rc.rcvdOldFIN && recvDone {
+		d.finalizeAnchor(rc)
+	}
+}
+
+// onOldPathFIN handles the UDP FIN traversing the old path: mid agents
+// forward it and clean up; anchors complete.
+func (d *daemon) onOldPathFIN(m *ctrlMsg) {
+	if rc, ok := d.reconfigs[m.ReqID]; ok {
+		if !rc.switched {
+			// The peer anchor finished before our NewPathACK arrived (or
+			// the session is idle): switch now.
+			d.activateSwitch(rc)
+		}
+		rc.rcvdOldFIN = true
+		d.checkOldPathDone(rc)
+		return
+	}
+	// Mid old-path agent (e.g. the deleted proxy): forward along the old
+	// path, translating across splices. A FIN means "no more old-path
+	// data from my side", so a TCP-terminating proxy must not forward it
+	// until its own downstream connection has drained everything it
+	// relayed — otherwise the anchors finalize while bytes the sender
+	// already discarded are still in the proxy's buffers.
+	sess := d.sessionByID(m.Session)
+	if sess == nil {
+		return
+	}
+	fromLeft := m.from == sess.LeftHost && sess.LeftHost != 0
+	d.forwardOldPathFIN(sess, m, fromLeft)
+}
+
+// forwardOldPathFIN relays the UDP FIN across this hop once the relevant
+// spliced connection has drained, and tears the hop down when both
+// directions' FINs have passed.
+func (d *daemon) forwardOldPathFIN(sess *Session, m *ctrlMsg, fromLeft bool) {
+	next := sess
+	if sess.Splice != nil {
+		next = sess.Splice
+	}
+	// Drain gate: conns[0] faces left, conns[1] faces right. A FIN going
+	// right is held until the right-facing connection flushed; a FIN
+	// going left until the left-facing one did.
+	var gate SpliceConn
+	if fromLeft {
+		gate = sess.spliceConns[1]
+	} else {
+		gate = sess.spliceConns[0]
+	}
+	if gate != nil && gate.BufferedOut() > 0 {
+		d.eng.Schedule(d.a.Cfg.ControlRTO, func() { d.forwardOldPathFIN(sess, m, fromLeft) })
+		return
+	}
+	fwd := *m
+	dirIdx := 1
+	if fromLeft {
+		fwd.Session = next.IDRight
+		d.send(next.RightHost, &fwd)
+		dirIdx = 0
+	} else {
+		fwd.Session = next.IDLeft
+		d.send(next.LeftHost, &fwd)
+	}
+	// The two FINs arrive addressed to opposite sides of a splice; mark
+	// both session records so either can observe completion.
+	sess.finSeen[dirIdx] = true
+	if sess.Splice != nil {
+		sess.Splice.finSeen[dirIdx] = true
+	}
+	if sess.finSeen[0] && sess.finSeen[1] {
+		d.scheduleOldPathCleanup(sess)
+	}
+}
+
+// scheduleOldPathCleanup removes the deleted hop's session state shortly
+// after the old path is torn down.
+func (d *daemon) scheduleOldPathCleanup(sess *Session) {
+	a := d.a
+	d.eng.Schedule(10*d.a.Cfg.ControlRTO, func() {
+		if sess.Splice != nil {
+			other := sess.Splice
+			for _, det := range sess.spliceConns {
+				if det != nil {
+					det.Detach()
+				}
+			}
+			a.removeSession(other)
+		}
+		a.removeSession(sess)
+	})
+}
+
+// finalizeAnchor completes a successful reconfiguration at this anchor:
+// the old path state is discarded and the new path becomes the only path.
+func (d *daemon) finalizeAnchor(rc *Reconfig) {
+	a := d.a
+	sess := rc.Sess
+	// Swap the egress entry to the new path permanently.
+	a.egress[rc.oldEgressKey] = rc.newEgressEntry
+	// The old ingress entry lingers briefly for stragglers.
+	oldKey := rc.oldIngressKey
+	d.eng.Schedule(time.Second, func() {
+		if e, ok := a.ingress[oldKey]; ok && e.sess == sess && !e.newPath {
+			delete(a.ingress, oldKey)
+		}
+	})
+	// Update the chain topology at this anchor.
+	if rc.IsLeft {
+		sess.RightHost = rc.newPeerHost
+		sess.SubRight = rc.newSub
+	} else {
+		sess.LeftHost = rc.newPeerHost
+		sess.SubLeft = rc.newSub
+	}
+	sess.Lock = Unlocked
+	d.finishReconfig(rc, true)
+}
+
+// ---------- state transfer (Figure 15) ----------
+
+func (d *daemon) onStateReq(m *ctrlMsg) {
+	a := d.a
+	app, ok := a.App.(StatefulApp)
+	if !ok {
+		return
+	}
+	if staged, ok := d.stateStaged[m.ReqID]; ok {
+		// Retransmitted request: the export already ran; re-send the
+		// install in case it was lost.
+		if staged != nil {
+			d.send(m.StateTo, staged)
+		}
+		return
+	}
+	d.stateStaged[m.ReqID] = nil // export in progress
+	state, err := app.ExportState(m.Session)
+	if err != nil {
+		return
+	}
+	// Exporting (conntrack + serialization) takes real time (§5.3).
+	d.eng.Schedule(a.Cfg.StateOpCost, func() {
+		install := &ctrlMsg{
+			Type: msgStateInstall, ReqID: m.ReqID, Session: m.Session,
+			LeftAnchor: m.LeftAnchor, State: state, StateFrom: a.Host.Addr,
+		}
+		d.stateStaged[m.ReqID] = install
+		d.send(m.StateTo, install)
+	})
+}
+
+func (d *daemon) onStateInstall(m *ctrlMsg) {
+	app, ok := d.a.App.(StatefulApp)
+	if !ok {
+		return
+	}
+	from := m.from
+	msg := &ctrlMsg{Type: msgStateInstalled, ReqID: m.ReqID, Session: m.Session, LeftAnchor: m.LeftAnchor}
+	if d.stateImported[m.ReqID] {
+		d.send(from, msg) // duplicate install: just re-acknowledge
+		return
+	}
+	if err := app.ImportState(m.State); err != nil {
+		return
+	}
+	d.stateImported[m.ReqID] = true
+	d.eng.Schedule(d.a.Cfg.StateOpCost, func() { d.send(from, msg) })
+}
+
+func (d *daemon) onStateInstalled(m *ctrlMsg) {
+	d.send(m.LeftAnchor, &ctrlMsg{Type: msgStateReady, ReqID: m.ReqID, Session: m.Session})
+}
+
+func (d *daemon) onStateReady(m *ctrlMsg) {
+	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft && rc.State == RcStateWait {
+		rc.ackReceived()
+		d.leftAnchorSwitch(rc)
+	}
+}

@@ -1,0 +1,30 @@
+// Package core implements Dysco, the session protocol for service chaining
+// from "Dynamic Service Chaining with Dysco" (SIGCOMM 2017).
+//
+// An Agent attaches to a netsim.Host at the host/NIC boundary (the same
+// interception point as the paper's kernel module) and:
+//
+//   - establishes service chains at TCP session setup by carrying the
+//     original session five-tuple and the remaining middlebox address list
+//     in the SYN payload (§2.1), rewriting every subsequent packet between
+//     session and subsession five-tuples with incremental checksums;
+//   - tags SYNs through five-tuple-modifying middleboxes with TCP option
+//     253 so in/out headers can be associated (§2.1, §4.2);
+//   - presents packets to local middlebox applications with the original
+//     session header, whether the application is packet-level (libpcap
+//     style) or a TCP-terminating proxy using the host stack (§2.4);
+//   - translates TCP options across spliced sessions: window scale, SACK
+//     block sequence numbers, and timestamps (§4.2);
+//   - runs the dynamic reconfiguration protocol (§3) in a Daemon speaking
+//     UDP: segment locking (requestLock/ackLock/nackLock with contention
+//     resolution), delta accumulation for deleted middleboxes that changed
+//     byte-stream size or terminated TCP (§3.4), new-path three-way setup,
+//     two-path packet steering with the oldSent/oldRcvd/oldSentAcked/
+//     oldRcvdAcked/firstNewRcvd rules (§3.5), old-path teardown with UDP
+//     FINs, cancellation on new-path failure (§3.6), and state transfer
+//     when replacing stateful middleboxes (§5.3).
+//
+// The package deliberately has no knowledge of the experiment harness; the
+// policy hook is a single function returning the middlebox address list
+// for a new session.
+package core

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// LockState is the state an agent keeps for the subsession on its right
+// (§3.2).
+type LockState int
+
+// Lock states for the subsession to an agent's right.
+const (
+	Unlocked LockState = iota
+	LockPending
+	Locked
+)
+
+func (s LockState) String() string {
+	switch s {
+	case Unlocked:
+		return "unlocked"
+	case LockPending:
+		return "lockPending"
+	default:
+		return "locked"
+	}
+}
+
+// Deltas carries the per-middlebox sequence/timestamp deltas and window
+// scale information contributed to lock messages when this middlebox is
+// deleted (§3.4). Right* fields concern the client→server (rightward)
+// stream, Left* the server→client stream.
+type Deltas struct {
+	Right   int64 // S2pos = Spos + Right for the rightward stream
+	Left    int64 // Spos = S2pos + Left for the leftward stream
+	RightTS int64 // proxyClock = leftClock + RightTS
+	LeftTS  int64 // proxyClock = rightClock + LeftTS
+	// Window-scale shifts for anchor window translation: the right anchor
+	// rescales its outgoing window by (<<RightWinFrom)>>RightWinTo; the
+	// left anchor by (<<LeftWinFrom)>>LeftWinTo. From==To means no-op.
+	RightWinFrom, RightWinTo int8
+	LeftWinFrom, LeftWinTo   int8
+}
+
+// Session is the per-hop state for one Dysco session: the session identity
+// on each side of this host, the neighboring subsessions, and lock and
+// reconfiguration state.
+type Session struct {
+	// IDLeft is the session five-tuple (forward direction: client→server)
+	// as it appears on the left side of this host; IDRight on the right
+	// side. They differ only across five-tuple-modifying middleboxes
+	// (NATs) and TCP-terminating proxies.
+	IDLeft  packet.FiveTuple
+	IDRight packet.FiveTuple
+
+	// LeftHost/RightHost are the neighbor agents on the old path (zero if
+	// this host is the corresponding end of the chain).
+	LeftHost  packet.Addr
+	RightHost packet.Addr
+
+	// SubLeft/SubRight are the subsession five-tuples (forward
+	// orientation) on each side; zero-valued if absent.
+	SubLeft  packet.FiveTuple
+	SubRight packet.FiveTuple
+
+	// Remainder is the address list still to traverse when the SYN leaves
+	// this host (middleboxes then destination).
+	Remainder []packet.Addr
+
+	// Lock protocol state for the subsession on our right (§3.2).
+	Lock      LockState
+	LockReqID uint64
+	Requestor packet.Addr
+	blocked   []*ctrlMsg
+
+	// MboxDeltas is this hop's contribution when it is deleted (§3.4):
+	// set by TCP-terminating proxies at splice time and by size-changing
+	// packet apps via ReportDelta.
+	MboxDeltas Deltas
+
+	// spliceConns holds the proxy's two TCP connections to detach once the
+	// old path is torn down.
+	spliceConns [2]SpliceConn
+
+	// Draining marks a session whose host is being deleted: the agent
+	// clamps the windows this host advertises (§5.3: "the Dysco agent on
+	// the proxy advertises a small window to the senders"). drainWScale
+	// is the shift the receiving peer applies to those windows.
+	Draining    bool
+	drainWScale int8
+
+	// Splice links a proxy's left-side session to its right-side session
+	// and vice versa (§2.4): control messages crossing this host translate
+	// the session identity through it.
+	Splice *Session
+
+	// Anchor tracking in local sequence spaces (§3.5 inputs), updated on
+	// the data path: highest byte sent+1, highest ack received, highest
+	// byte received+1, highest ack sent. Each counter carries an init
+	// flag: sequence space has no natural zero, so the first observation
+	// seeds the counter.
+	sentHi, sentAckedHi, rcvdHi, rcvdAckedHi     uint32
+	sentHiOK, sentAckedOK, rcvdHiOK, rcvdAckedOK bool
+	seenData                                     bool
+
+	// wsOfferLocal is the window-scale shift the local endpoint offered
+	// (observed from the SYN/SYN-ACK this agent forwarded or delivered);
+	// used for window translation at anchors.
+	wsOfferLocal int8
+
+	// Reconfig is non-nil while this host is an anchor of an active
+	// reconfiguration of this session.
+	Reconfig *Reconfig
+
+	// finSeen tracks TCP FINs observed in each direction (0 = rightward)
+	// for garbage collection.
+	finSeen [2]bool
+	// lastActive is the virtual time of the last packet, for idle cleanup.
+	lastActive sim.Time
+}
+
+// IsLeftEnd reports whether this host is the left end of the chain.
+func (s *Session) IsLeftEnd() bool { return s.LeftHost == 0 }
+
+// IsRightEnd reports whether this host is the right end of the chain.
+func (s *Session) IsRightEnd() bool { return s.RightHost == 0 }
+
+// ReconfigState tracks the phase of a reconfiguration at an anchor.
+type ReconfigState int
+
+// Reconfiguration phases at an anchor.
+const (
+	RcIdle      ReconfigState = iota
+	RcLocking                 // requestLock sent, waiting for ackLock
+	RcSettingUp               // new-path SYN sent, waiting for SYN-ACK
+	RcStateWait               // waiting for middlebox state transfer
+	RcTwoPath                 // both paths live (§3.5)
+	RcDone                    // finished successfully
+	RcFailed                  // nacked or cancelled
+)
+
+func (s ReconfigState) String() string {
+	return [...]string{"idle", "locking", "settingUp", "stateWait", "twoPath", "done", "failed"}[s]
+}
+
+// Reconfig is the per-anchor state of one reconfiguration attempt.
+type Reconfig struct {
+	ID        uint64
+	State     ReconfigState
+	IsLeft    bool
+	Sess      *Session
+	PeerAddr  packet.Addr   // the other anchor
+	NewList   []packet.Addr // middleboxes + right anchor (left anchor only)
+	StateFrom packet.Addr   // old middlebox to export state from (0 = none)
+	StateTo   packet.Addr   // new middlebox to import state into
+
+	// Delta handling (§3.4): this anchor's delta for the stream it
+	// receives, its timestamp delta, and window rescaling shifts.
+	Delta          int64
+	TSDelta        int64
+	WinFrom, WinTo int8
+	newSub         packet.FiveTuple // forward orientation at this anchor
+	newPeerHost    packet.Addr      // first hop on the new path
+	oldEgressKey   packet.FiveTuple
+	newEgressEntry *rewriteEntry
+	oldIngressKey  packet.FiveTuple
+
+	// Two-path variables (§3.5), in the anchor's local sequence space.
+	// The send-side ack level lives in Session.sentAckedHi (acks for old
+	// data may legally arrive on either path).
+	oldSent      uint32
+	oldRcvd      uint32
+	oldRcvdAcked uint32
+	firstNewRcvd uint32
+	hasFirstNew  bool
+	switched     bool
+
+	sentOldFIN bool
+	rcvdOldFIN bool
+
+	started  sim.Time
+	switchAt sim.Time
+	retries  int
+	rtxTimer *sim.Timer
+	// lastMsg is retransmitted by rtxTimer until the awaited reply arrives.
+	lastMsg   *ctrlMsg
+	lastMsgTo packet.Addr
+	onDone    func(ok bool, took sim.Time)
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+)
+
+// Fig10 reproduces Figure 10: HTTP requests per second an NGINX-like
+// server sustains under a wrk-like closed-loop load (16 threads × 400
+// persistent connections in the paper), with 1 and 4 middleboxes between
+// client and server, Dysco vs baseline.
+func Fig10(sc Scale, seed int64) *Result {
+	r := &Result{Name: "fig10", Title: "HTTP requests/s under load (§5.2, Figure 10)"}
+	conns := 400 / sc.Sessions
+	window := time.Duration(8/sc.Time+1) * time.Second
+	respSize := uint32(600) // small static object
+
+	type key struct {
+		mboxes int
+		dysco  bool
+	}
+	rps := map[key]float64{}
+	for _, nm := range []int{1, 4} {
+		for _, dysco := range []bool{true, false} {
+			se := buildChainEnv(nm, dysco, true, seed)
+			for _, h := range se.env.Net.Hosts() {
+				fastCosts(h) // multi-core testbed hosts (§5.2)
+			}
+			for _, m := range se.mboxes {
+				driverPathCosts(m) // kernel-module fast path at middleboxes
+			}
+			if dysco {
+				driverPathCosts(se.client)
+				driverPathCosts(se.server)
+			}
+			// A real web server does ~10µs of work per request; without it
+			// the agent's sub-µs rewrite would dominate artificially.
+			srv := &app.HTTPServer{RequestCost: 10 * time.Microsecond}
+			srv.Serve(se.server.Stack, 80)
+			gen := app.NewLoadGen(se.client.Stack, se.server.Addr(), 80, conns, respSize)
+			se.env.RunFor(time.Second) // ramp
+			before := gen.Completed
+			se.env.RunFor(window)
+			got := float64(gen.Completed-before) / window.Seconds()
+			rps[key{nm, dysco}] = got
+			r.addRow("mbox=%d dysco=%-5v  %10.0f req/s (errors=%d)", nm, dysco, got, gen.Errors)
+		}
+	}
+	for _, nm := range []int{1, 4} {
+		d, b := rps[key{nm, true}], rps[key{nm, false}]
+		gap := (b - d) / b * 100
+		r.check(fmt.Sprintf("dysco within ~2%% of baseline at %d mbox (paper: <1.8)", nm),
+			gap < 5, "gap=%.2f%%", gap)
+	}
+	r.check("4 middleboxes serve slightly fewer requests than 1 (paper shape)",
+		rps[key{4, true}] <= rps[key{1, true}],
+		"1mbox=%.0f 4mbox=%.0f", rps[key{1, true}], rps[key{4, true}])
+	r.addNote("scale=%s: %d persistent connections over %v (paper: 400 conns, ~300k req/s on the testbed)",
+		sc.Label, conns, window)
+	return r
+}

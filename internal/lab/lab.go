@@ -1,0 +1,134 @@
+// Package lab builds the simulated testbeds shared by the integration
+// tests, the examples, and the benchmark harness: hosts with TCP stacks
+// and Dysco agents in a star topology around a router (the shape of the
+// paper's Figure 11 testbed), plus line-chain policies.
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Node bundles a host with its optional stack and agent.
+type Node struct {
+	Host  *netsim.Host
+	Stack *tcp.Stack
+	Agent *core.Agent
+}
+
+// Addr is shorthand for the node's address.
+func (n *Node) Addr() packet.Addr { return n.Host.Addr }
+
+// Env is a simulated testbed.
+type Env struct {
+	Eng    *sim.Engine
+	Net    *netsim.Network
+	Router *netsim.Host
+	nodes  map[string]*Node
+	names  []string
+	next   byte
+}
+
+// NewEnv creates an engine, a network, and a central forwarding router at
+// 10.0.0.254.
+func NewEnv(seed int64) *Env {
+	eng := sim.NewEngine(seed)
+	n := netsim.New(eng)
+	router := n.AddHost("router", packet.MakeAddr(10, 0, 0, 254))
+	router.Forwarding = true
+	return &Env{
+		Eng:    eng,
+		Net:    n,
+		Router: router,
+		nodes:  make(map[string]*Node),
+		next:   1,
+	}
+}
+
+// HostOptions configures a new node.
+type HostOptions struct {
+	// Link is the access link to the router (both directions).
+	Link netsim.LinkConfig
+	// Stack attaches a TCP stack.
+	Stack bool
+	// Agent attaches a Dysco agent with the given config.
+	Agent    bool
+	AgentCfg core.Config
+	// App is the packet-level middlebox application (implies Agent).
+	App core.App
+	// ChecksumOffload controls the NIC offload model (default true).
+	NoOffload bool
+	// NoRouterLink skips the default access link to the router; connect
+	// the host manually (used by line-topology baselines).
+	NoRouterLink bool
+}
+
+// AddNode creates a host connected to the router.
+func (e *Env) AddNode(name string, opt HostOptions) *Node {
+	if _, dup := e.nodes[name]; dup {
+		panic(fmt.Sprintf("lab: duplicate node %q", name))
+	}
+	addr := packet.MakeAddr(10, 0, byte(e.next>>7), e.next)
+	e.next++
+	if e.next == 254 {
+		e.next++
+	}
+	h := e.Net.AddHost(name, addr)
+	h.ChecksumOffload = !opt.NoOffload
+	if !opt.NoRouterLink {
+		e.Net.Connect(h, e.Router, opt.Link)
+	}
+	node := &Node{Host: h}
+	if opt.Stack {
+		node.Stack = tcp.NewStack(h)
+	}
+	if opt.Agent || opt.App != nil {
+		node.Agent = core.NewAgent(h, opt.AgentCfg)
+		node.Agent.App = opt.App
+		if node.Stack != nil {
+			s := node.Stack
+			node.Agent.SetFindConn(func(local packet.FiveTuple) core.ConnView {
+				if c := s.Find(local); c != nil {
+					return c
+				}
+				return nil
+			})
+		}
+	}
+	e.nodes[name] = node
+	e.names = append(e.names, name)
+	return node
+}
+
+// Node returns a node by name (nil if absent).
+func (e *Env) Node(name string) *Node { return e.nodes[name] }
+
+// RunFor advances virtual time by d.
+func (e *Env) RunFor(d sim.Time) { e.Eng.Run(e.Eng.Now() + d) }
+
+// RunUntil advances virtual time to the absolute instant t.
+func (e *Env) RunUntil(t sim.Time) { e.Eng.Run(t) }
+
+// ChainPolicy installs a policy on the node's agent steering sessions to
+// dstPort through the listed middlebox nodes, in order.
+func (e *Env) ChainPolicy(n *Node, dstPort packet.Port, mboxes ...*Node) {
+	var chain []packet.Addr
+	for _, m := range mboxes {
+		chain = append(chain, m.Addr())
+	}
+	prev := n.Agent.Policy
+	n.Agent.Policy = func(p *packet.Packet) []packet.Addr {
+		if p.Tuple.DstPort == dstPort {
+			return chain
+		}
+		if prev != nil {
+			return prev(p)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,123 @@
+package mbox
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FirewallRule allows new sessions matching a destination port (0 = any)
+// and/or destination address (0 = any).
+type FirewallRule struct {
+	DstIP   packet.Addr
+	DstPort packet.Port
+}
+
+func (r FirewallRule) matches(t packet.FiveTuple) bool {
+	if r.DstIP != 0 && r.DstIP != t.DstIP {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != t.DstPort {
+		return false
+	}
+	return true
+}
+
+// ConnState is the conntrack state of one tracked session; it is what a
+// Dysco daemon serializes (as JSON, like the prototype's use of the
+// conntrack utility, §5.3) when migrating a session between firewall
+// instances (Figure 15).
+type ConnState struct {
+	Tuple       packet.FiveTuple
+	Established bool
+	Packets     uint64
+	Bytes       uint64
+	LastSeen    sim.Time
+}
+
+// Firewall is a stateful packet filter: new sessions must match an allow
+// rule (SYN only); packets of unknown non-SYN sessions are dropped. It
+// implements core.StatefulApp so Dysco can migrate session state.
+type Firewall struct {
+	Rules []FirewallRule
+
+	eng     *sim.Engine
+	conns   map[packet.FiveTuple]*ConnState
+	Dropped uint64
+	Passed  uint64
+	// Imported counts sessions installed via ImportState.
+	Imported uint64
+}
+
+// NewFirewall builds a firewall with the given allow rules.
+func NewFirewall(eng *sim.Engine, rules ...FirewallRule) *Firewall {
+	return &Firewall{
+		Rules: rules,
+		eng:   eng,
+		conns: make(map[packet.FiveTuple]*ConnState),
+	}
+}
+
+// Tracked returns the number of tracked sessions.
+func (f *Firewall) Tracked() int { return len(f.conns) }
+
+// Process implements core.App.
+func (f *Firewall) Process(p *packet.Packet, dir netsim.Direction) []*packet.Packet {
+	key := canonical(p.Tuple)
+	if cs, ok := f.conns[key]; ok {
+		cs.Packets++
+		cs.Bytes += uint64(p.DataLen())
+		cs.LastSeen = f.eng.Now()
+		if p.Flags.Has(packet.FlagACK) {
+			cs.Established = true
+		}
+		if p.Flags.Has(packet.FlagRST) {
+			delete(f.conns, key)
+		}
+		f.Passed++
+		return []*packet.Packet{p}
+	}
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+		for _, r := range f.Rules {
+			if r.matches(p.Tuple) {
+				f.conns[key] = &ConnState{
+					Tuple:    key,
+					Packets:  1,
+					Bytes:    uint64(p.DataLen()),
+					LastSeen: f.eng.Now(),
+				}
+				f.Passed++
+				return []*packet.Packet{p}
+			}
+		}
+	}
+	// Mid-stream packet of an untracked session, or disallowed SYN.
+	f.Dropped++
+	return nil
+}
+
+// ExportState implements core.StatefulApp: it serializes the conntrack
+// entry for the given session as JSON.
+func (f *Firewall) ExportState(sess packet.FiveTuple) ([]byte, error) {
+	key := canonical(sess)
+	cs, ok := f.conns[key]
+	if !ok {
+		return nil, fmt.Errorf("mbox: firewall: no state for session %v", sess)
+	}
+	return json.Marshal(cs)
+}
+
+// ImportState implements core.StatefulApp: it installs a serialized
+// conntrack entry received from another instance.
+func (f *Firewall) ImportState(state []byte) error {
+	var cs ConnState
+	if err := json.Unmarshal(state, &cs); err != nil {
+		return err
+	}
+	f.conns[canonical(cs.Tuple)] = &cs
+	f.Imported++
+	return nil
+}

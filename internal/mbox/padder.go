@@ -1,0 +1,70 @@
+package mbox
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Padder is a size-changing middlebox: it inserts a banner at the start of
+// the rightward byte stream (an ad-inserting proxy at packet level). From
+// then on it translates sequence numbers rightward and acknowledgment and
+// SACK numbers leftward, and reports its delta to the local Dysco agent so
+// that deleting it fixes sequence numbers elsewhere (§3.4).
+//
+// The padder assumes the insertion-carrying packet is not lost (its links
+// in the experiments are lossless); a production implementation would
+// remember the modified packet for retransmission.
+type Padder struct {
+	Banner []byte
+	// Report, when set, is called with the accumulated deltas whenever
+	// they change (wired to core.Agent.ReportDelta).
+	Report func(sess packet.FiveTuple, d core.Deltas)
+
+	// inserted tracks, per rightward session tuple, the delta applied.
+	inserted map[packet.FiveTuple]int64
+	// Insertions counts sessions that received the banner.
+	Insertions int
+}
+
+// NewPadder builds a padder inserting the given banner once per session.
+func NewPadder(banner []byte) *Padder {
+	return &Padder{Banner: banner, inserted: make(map[packet.FiveTuple]int64)}
+}
+
+// Process implements core.App.
+func (pd *Padder) Process(p *packet.Packet, dir netsim.Direction) []*packet.Packet {
+	if p.Flags.Has(packet.FlagSYN) {
+		return []*packet.Packet{p}
+	}
+	fwd := p.Tuple
+	rev := p.Tuple.Reverse()
+	if delta, ok := pd.inserted[fwd]; ok {
+		// Rightward packet after insertion: shift the stream position.
+		p.RewriteSeqAck(packet.SeqAdd(p.Seq, delta), p.Ack)
+		return []*packet.Packet{p}
+	}
+	if delta, ok := pd.inserted[rev]; ok {
+		// Leftward packet: acknowledgments (and SACK blocks) refer to the
+		// shifted rightward stream; shift them back.
+		p.RewriteSeqAck(p.Seq, packet.SeqAdd(p.Ack, -delta))
+		for i := range p.Opts.SACK {
+			p.Opts.SACK[i].Start = packet.SeqAdd(p.Opts.SACK[i].Start, -delta)
+			p.Opts.SACK[i].End = packet.SeqAdd(p.Opts.SACK[i].End, -delta)
+		}
+		return []*packet.Packet{p}
+	}
+	if p.DataLen() > 0 {
+		// First rightward data packet: insert the banner in front.
+		delta := int64(len(pd.Banner))
+		pd.inserted[fwd] = delta
+		pd.Insertions++
+		np := p.Clone()
+		np.Payload = append(append([]byte(nil), pd.Banner...), p.Payload...)
+		if pd.Report != nil {
+			pd.Report(fwd, core.Deltas{Right: delta})
+		}
+		return []*packet.Packet{np}
+	}
+	return []*packet.Packet{p}
+}

@@ -1,0 +1,115 @@
+package mbox
+
+import (
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Proxy is a TCP-terminating middlebox (layer-7 load balancer, cache
+// front-end): the local Dysco agent presents the client's session to the
+// host TCP stack; the proxy accepts it, opens a second connection to a
+// backend, and relays bytes both ways in user space.
+//
+// Splicing the two connections (the paper's intercepted splice() call,
+// §4.2) computes the §3.4 deltas and triggers the proxy's removal from
+// the chain; relaying continues through the TCP stacks until the old path
+// drains, after which the agent detaches both connections.
+type Proxy struct {
+	Stack *tcp.Stack
+	Agent *core.Agent
+	// Backend selects the server address for a new client connection.
+	Backend func(client *tcp.Conn) (packet.Addr, packet.Port)
+	// AutoSpliceAfter, when positive, triggers splice-and-removal once
+	// that many bytes have been relayed client→server on a session (a
+	// load balancer splices right after the request); 0 disables.
+	AutoSpliceAfter int
+	// RelayCostPerKB is CPU charged per KB relayed in user space; this is
+	// what makes the proxy the bottleneck of Figure 12. Default 0.
+	RelayCostPerKB sim.Time
+
+	// Accepted counts client connections; Spliced counts splice triggers.
+	Accepted int
+	Spliced  int
+	Relayed  uint64
+
+	pairs []*ProxyPair
+}
+
+// ProxyPair is one proxied session: the client-facing and backend-facing
+// connections.
+type ProxyPair struct {
+	Client  *tcp.Conn
+	Server  *tcp.Conn
+	proxy   *Proxy
+	right   uint64 // client→server bytes relayed
+	left    uint64
+	spliced bool
+}
+
+// NewProxy wires a proxy onto a host's stack and agent, listening on port.
+func NewProxy(stack *tcp.Stack, agent *core.Agent, port packet.Port, backend func(*tcp.Conn) (packet.Addr, packet.Port)) *Proxy {
+	p := &Proxy{Stack: stack, Agent: agent, Backend: backend}
+	stack.Listen(port, p.accept)
+	return p
+}
+
+// Pairs returns the live proxied sessions.
+func (p *Proxy) Pairs() []*ProxyPair { return p.pairs }
+
+func (p *Proxy) accept(client *tcp.Conn) {
+	p.Accepted++
+	addr, port := p.Backend(client)
+	server := p.Stack.Connect(addr, port, tcp.Config{})
+	pair := &ProxyPair{Client: client, Server: server, proxy: p}
+	p.pairs = append(p.pairs, pair)
+
+	client.OnData = func(b []byte) { pair.relay(b, server, true) }
+	server.OnData = func(b []byte) { pair.relay(b, client, false) }
+	client.OnPeerFIN = func() { server.Close() }
+	server.OnPeerFIN = func() { client.Close() }
+	client.OnReset = func() { server.Abort() }
+	server.OnReset = func() { client.Abort() }
+}
+
+func (pair *ProxyPair) relay(b []byte, to *tcp.Conn, rightward bool) {
+	p := pair.proxy
+	p.Relayed += uint64(len(b))
+	if rightward {
+		pair.right += uint64(len(b))
+	} else {
+		pair.left += uint64(len(b))
+	}
+	if p.RelayCostPerKB > 0 {
+		p.Stack.Host.CPU.Acquire(sim.Time(int64(p.RelayCostPerKB) * int64(len(b)) / 1024))
+	}
+	to.Send(b)
+	if rightward && !pair.spliced && p.AutoSpliceAfter > 0 && pair.right >= uint64(p.AutoSpliceAfter) {
+		pair.Splice()
+	}
+}
+
+// Spliced reports whether this session has been spliced out.
+func (pair *ProxyPair) Spliced() bool { return pair.spliced }
+
+// Splice triggers this session's splice-and-removal (idempotent).
+func (pair *ProxyPair) Splice() error {
+	if pair.spliced {
+		return nil
+	}
+	if pair.Server.State() != tcp.StateEstablished || pair.Client.State() != tcp.StateEstablished {
+		return nil // try again later; both sides must be up
+	}
+	pair.spliced = true
+	pair.proxy.Spliced++
+	return pair.proxy.Agent.SpliceAndRemove(pair.Client, pair.Server)
+}
+
+// SpliceAll triggers splice-and-removal on every live session (the policy
+// server's "replace yourself in all ongoing sessions" command, §2.2).
+func (p *Proxy) SpliceAll() {
+	for _, pair := range p.pairs {
+		pair.Splice()
+	}
+}

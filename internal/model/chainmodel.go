@@ -1,0 +1,232 @@
+package model
+
+import (
+	"fmt"
+)
+
+// The chain model verifies §2.1 (establishment of the service chain): a
+// client SYN carrying the session identity and address list propagates
+// hop by hop; each agent allocates a subsession, installs forward and
+// reverse mappings, and forwards; the SYN-ACK returns through the reverse
+// mappings. The model checks, over every interleaving — including
+// duplicate SYNs from client retransmission and a five-tuple-modifying
+// (NAT) hop:
+//
+//	C1 — the server's application receives the session exactly once, with
+//	     the expected header (the original, or the NAT's rewrite);
+//	C2 — each hop's mappings compose: the reverse path maps the SYN-ACK
+//	     back to the identity the client expects;
+//	C3 — duplicate SYNs create no duplicate state (idempotent setup);
+//	C4 — establishment always completes (no deadlock, client gets the
+//	     SYN-ACK in every execution).
+type ChainConfig struct {
+	// Hops is the number of middlebox agents between client and server.
+	Hops int
+	// NATHop, when ≥ 0, makes that middlebox rewrite the session header.
+	NATHop int
+	// DupSYN lets the client retransmit its SYN once at any time.
+	DupSYN bool
+}
+
+// Tuple identities are symbolic integers: 0 is the client's original
+// header; natBase+hop is the header after a NAT at that hop; subsession
+// ids are allocated per hop.
+const natBase = 1000
+
+type chainMsg struct {
+	syn     bool // else SYN-ACK
+	sub     int  // subsession tuple on this wire
+	session int  // session header carried in the payload (SYN only)
+}
+
+type hopState struct {
+	// in → session mapping (forward SYN), session → outSub, and the
+	// reverse: inSub for the return path.
+	inSub      int // subsession on the left (-1 until seen)
+	sessionIn  int // session header delivered to the app
+	sessionOut int // header after the app (differs at a NAT)
+	outSub     int // subsession allocated toward the right (-1 until made)
+	allocs     int // subsession allocations at this hop (C3: must be ≤1)
+}
+
+type chainState struct {
+	cfg *ChainConfig
+	// channels[i] carries messages between node i and i+1 (client=0,
+	// hops 1..H, server=H+1); two directions.
+	right    [][]chainMsg
+	left     [][]chainMsg
+	hops     []hopState
+	synSent  int
+	subSeq   int // subsession id allocator
+	srvGot   []int
+	clientOK bool
+	dupState bool // C3 violation
+}
+
+// NewChainState builds the §2.1 establishment model.
+func NewChainState(cfg *ChainConfig) State {
+	h := cfg.Hops
+	s := &chainState{
+		cfg:    cfg,
+		right:  make([][]chainMsg, h+1),
+		left:   make([][]chainMsg, h+1),
+		hops:   make([]hopState, h),
+		subSeq: 1,
+	}
+	for i := range s.hops {
+		s.hops[i] = hopState{inSub: -1, sessionIn: -1, sessionOut: -1, outSub: -1}
+	}
+	return s
+}
+
+func (s *chainState) clone() *chainState {
+	c := *s
+	c.right = make([][]chainMsg, len(s.right))
+	c.left = make([][]chainMsg, len(s.left))
+	for i := range s.right {
+		c.right[i] = append([]chainMsg(nil), s.right[i]...)
+		c.left[i] = append([]chainMsg(nil), s.left[i]...)
+	}
+	c.hops = append([]hopState(nil), s.hops...)
+	c.srvGot = append([]int(nil), s.srvGot...)
+	return &c
+}
+
+// Key implements State.
+func (s *chainState) Key() string {
+	return fmt.Sprintf("R%v L%v H%v sent%d got%v ok%v", s.right, s.left, s.hops, s.synSent, s.srvGot, s.clientOK)
+}
+
+// Next implements State.
+func (s *chainState) Next() []State {
+	var out []State
+	maxSYN := 1
+	if s.cfg.DupSYN {
+		maxSYN = 2
+	}
+	if s.synSent < maxSYN {
+		c := s.clone()
+		c.synSent++
+		// The client agent is idempotent too: the same subsession id is
+		// reused on retransmission (entry lookup in the real agent).
+		c.right[0] = append(c.right[0], chainMsg{syn: true, sub: 0, session: 0})
+		out = append(out, c)
+	}
+	for ch := range s.right {
+		if len(s.right[ch]) > 0 {
+			out = append(out, s.deliverRight(ch))
+		}
+		if len(s.left[ch]) > 0 {
+			out = append(out, s.deliverLeft(ch))
+		}
+	}
+	return out
+}
+
+// deliverRight pops channel ch (toward the server).
+func (s *chainState) deliverRight(ch int) State {
+	c := s.clone()
+	m := c.right[ch][0]
+	c.right[ch] = c.right[ch][1:]
+	if ch == len(c.right)-1 {
+		// Arrived at the server: deliver up and respond.
+		c.srvGot = append(c.srvGot, m.session)
+		c.left[ch] = append(c.left[ch], chainMsg{sub: m.sub})
+		return c
+	}
+	// Middlebox hop (hop index ch).
+	h := &c.hops[ch]
+	if h.inSub == -1 {
+		h.inSub = m.sub
+		h.sessionIn = m.session
+		h.sessionOut = m.session
+		if c.cfg.NATHop == ch {
+			h.sessionOut = natBase + ch
+		}
+	} else if h.inSub != m.sub || h.sessionIn != m.session {
+		c.dupState = true // inconsistent duplicate
+		return c
+	}
+	if h.outSub == -1 {
+		h.outSub = c.subSeq
+		c.subSeq++
+		h.allocs++
+	}
+	// Forward with this hop's mapping (idempotent for duplicates).
+	c.right[ch+1] = append(c.right[ch+1], chainMsg{syn: true, sub: h.outSub, session: h.sessionOut})
+	return c
+}
+
+// deliverLeft pops channel ch (toward the client): the SYN-ACK mapping.
+func (s *chainState) deliverLeft(ch int) State {
+	c := s.clone()
+	m := c.left[ch][0]
+	c.left[ch] = c.left[ch][1:]
+	if ch == 0 {
+		// Back at the client: the subsession must be the client's own.
+		if m.sub == 0 {
+			c.clientOK = true
+		} else {
+			c.dupState = true // C2 violation: reverse mapping broke
+		}
+		return c
+	}
+	h := &c.hops[ch-1]
+	if h.outSub != m.sub {
+		c.dupState = true // C2: SYN-ACK arrived on an unknown subsession
+		return c
+	}
+	c.left[ch-1] = append(c.left[ch-1], chainMsg{sub: h.inSub})
+	return c
+}
+
+// Invariant implements State.
+func (s *chainState) Invariant() error {
+	if s.dupState {
+		return fmt.Errorf("C2/C3 violated: inconsistent or duplicated hop state")
+	}
+	for i, h := range s.hops {
+		if h.allocs > 1 {
+			return fmt.Errorf("C3 violated: hop %d allocated %d subsessions", i, h.allocs)
+		}
+	}
+	// C1: the server may see duplicate SYNs (retransmission) but only of
+	// the same session identity.
+	want := 0
+	if s.cfg.NATHop >= 0 && s.cfg.NATHop < s.cfg.Hops {
+		want = natBase + s.cfg.NATHop
+	}
+	if s.cfg.Hops == 0 {
+		want = 0
+	}
+	for _, got := range s.srvGot {
+		if got != want {
+			return fmt.Errorf("C1 violated: server saw session %d, want %d", got, want)
+		}
+	}
+	if len(s.srvGot) > s.synSent {
+		return fmt.Errorf("C1 violated: server saw %d SYNs for %d sends", len(s.srvGot), s.synSent)
+	}
+	return nil
+}
+
+// Terminal implements State.
+func (s *chainState) Terminal() bool {
+	for ch := range s.right {
+		if len(s.right[ch]) > 0 || len(s.left[ch]) > 0 {
+			return false
+		}
+	}
+	return s.synSent >= 1
+}
+
+// TerminalCheck implements State.
+func (s *chainState) TerminalCheck() error {
+	if len(s.srvGot) == 0 {
+		return fmt.Errorf("C4 violated: server never received the SYN")
+	}
+	if !s.clientOK {
+		return fmt.Errorf("C4 violated: client never received the SYN-ACK")
+	}
+	return nil
+}

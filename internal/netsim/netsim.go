@@ -1,0 +1,535 @@
+// Package netsim is the network substrate: hosts connected by duplex links
+// with propagation delay, finite bandwidth, drop-tail queues and optional
+// random loss, plus static shortest-path IP routing.
+//
+// A Host exposes ingress/egress hook chains at the host/NIC boundary —
+// the exact interception point of the Dysco kernel module (§4.1 of the
+// paper) — and a per-host CPU cost model so experiments can report CPU
+// utilization (Figure 12) and model checksum offload (Figure 8).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Direction tells a hook whether the packet is entering or leaving a host.
+type Direction int
+
+// Hook directions.
+const (
+	Ingress Direction = iota
+	Egress
+)
+
+func (d Direction) String() string {
+	if d == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// Verdict is a hook's decision about a packet.
+type Verdict int
+
+const (
+	// Pass continues processing (possibly with the packet rewritten in
+	// place).
+	Pass Verdict = iota
+	// Drop discards the packet silently.
+	Drop
+	// Consume means the hook took ownership (e.g. delivered it itself);
+	// processing stops without counting a drop.
+	Consume
+)
+
+// Hook inspects and may rewrite a packet at the host boundary.
+type Hook func(p *packet.Packet, dir Direction) Verdict
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Delay is the propagation delay.
+	Delay sim.Time
+	// Bandwidth is in bytes per second; 0 means infinite.
+	Bandwidth float64
+	// QueueBytes bounds the transmit queue (drop-tail); 0 means 512 KB.
+	QueueBytes int
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+}
+
+// Gbps expresses a link rate given in gigabits per second as bytes/second.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// Mbps expresses a link rate given in megabits per second as bytes/second.
+func Mbps(m float64) float64 { return m * 1e6 / 8 }
+
+const defaultQueueBytes = 512 << 10
+
+// linkEnd is one direction of a link: the transmit side at a host.
+type linkEnd struct {
+	cfg       LinkConfig
+	from, to  *Host
+	busyUntil sim.Time
+	queued    int // bytes accepted but not yet fully transmitted
+	// Drops counts packets lost to queue overflow or random loss.
+	Drops uint64
+}
+
+// CostModel is the per-packet CPU cost charged at a host. Costs are paid
+// on the host's single modeled CPU, so a busy host queues packets — this
+// is what makes a userspace proxy a bottleneck (Figure 12) and checksum
+// software-vs-offload visible (Figure 8).
+type CostModel struct {
+	// RecvPacket/SendPacket are fixed per-packet costs.
+	RecvPacket sim.Time
+	SendPacket sim.Time
+	// ChecksumPerKB is charged per kilobyte of packet on send and on
+	// receive when the host does NOT offload checksums to the NIC.
+	ChecksumPerKB sim.Time
+	// ForwardPacket is charged when the host forwards (routes) a packet.
+	ForwardPacket sim.Time
+}
+
+// DefaultCosts approximates a Linux host on the paper's testbed: a few µs
+// per packet of kernel path, ~0.5 ns/byte of software checksumming.
+func DefaultCosts() CostModel {
+	return CostModel{
+		RecvPacket:    2 * time.Microsecond,
+		SendPacket:    2 * time.Microsecond,
+		ChecksumPerKB: 500 * time.Nanosecond,
+		ForwardPacket: 1 * time.Microsecond,
+	}
+}
+
+// CPU is a single serial processor with utilization accounting.
+type CPU struct {
+	eng       *sim.Engine
+	busyUntil sim.Time
+	// Busy is total busy time since start.
+	Busy sim.Time
+	// Series accumulates busy time per interval when non-nil.
+	Series *stats.TimeSeries
+}
+
+// Acquire charges cost of CPU time and returns the absolute virtual time at
+// which the work completes (FIFO, single core).
+func (c *CPU) Acquire(cost sim.Time) sim.Time {
+	now := c.eng.Now()
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + cost
+	c.Busy += cost
+	if c.Series != nil && cost > 0 {
+		// Attribute the busy time to the bin where the work starts; bins
+		// are long (1s) relative to per-packet costs, so this is accurate.
+		c.Series.Add(start, cost.Seconds())
+	}
+	return c.busyUntil
+}
+
+// Util returns mean utilization (busy fraction) since the start of the run.
+func (c *CPU) Util() float64 {
+	if c.eng.Now() == 0 {
+		return 0
+	}
+	return float64(c.Busy) / float64(c.eng.Now())
+}
+
+// Counters aggregates per-host packet statistics.
+type Counters struct {
+	PacketsIn   uint64
+	PacketsOut  uint64
+	BytesIn     uint64
+	BytesOut    uint64
+	Forwarded   uint64
+	DeliveredUp uint64
+	DropsNoRoute,
+	DropsHook,
+	DropsNoHandler uint64
+}
+
+// Host is a machine in the simulated network: an end-host, a middlebox
+// host, or a router (Forwarding=true).
+type Host struct {
+	Name string
+	Addr packet.Addr
+	Net  *Network
+	CPU  *CPU
+	Cost CostModel
+	// ChecksumOffload models NIC checksum offload: when true, software
+	// checksum cost is not charged (Figure 8a vs 8b).
+	ChecksumOffload bool
+	// Forwarding lets the host route packets not addressed to it.
+	Forwarding bool
+	Stats      Counters
+
+	links    []*linkEnd
+	routes   map[packet.Addr]*linkEnd
+	ingress  []Hook
+	egress   []Hook
+	tcpDemux func(*packet.Packet)
+	udpBinds map[packet.Port]func(*packet.Packet)
+}
+
+// Network owns the hosts and topology.
+type Network struct {
+	Eng   *sim.Engine
+	hosts map[packet.Addr]*Host
+	order []*Host // deterministic iteration
+	// Trace, when set, observes every packet delivery (post-ingress-hook).
+	Trace func(h *Host, p *packet.Packet, dir Direction)
+}
+
+// New creates an empty network on the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{Eng: eng, hosts: make(map[packet.Addr]*Host)}
+}
+
+// AddHost creates a host with the given name and address.
+func (n *Network) AddHost(name string, addr packet.Addr) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host address %v", addr))
+	}
+	h := &Host{
+		Name:            name,
+		Addr:            addr,
+		Net:             n,
+		CPU:             &CPU{eng: n.Eng},
+		Cost:            DefaultCosts(),
+		ChecksumOffload: true,
+		routes:          make(map[packet.Addr]*linkEnd),
+		udpBinds:        make(map[packet.Port]func(*packet.Packet)),
+	}
+	n.hosts[addr] = h
+	n.order = append(n.order, h)
+	return h
+}
+
+// Host returns the host with the given address, or nil.
+func (n *Network) Host(addr packet.Addr) *Host { return n.hosts[addr] }
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.order }
+
+// Connect joins a and b with a symmetric duplex link.
+func (n *Network) Connect(a, b *Host, cfg LinkConfig) {
+	n.ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym joins a and b with per-direction configurations.
+func (n *Network) ConnectAsym(a, b *Host, ab, ba LinkConfig) {
+	if ab.QueueBytes == 0 {
+		ab.QueueBytes = defaultQueueBytes
+	}
+	if ba.QueueBytes == 0 {
+		ba.QueueBytes = defaultQueueBytes
+	}
+	a.links = append(a.links, &linkEnd{cfg: ab, from: a, to: b})
+	b.links = append(b.links, &linkEnd{cfg: ba, from: b, to: a})
+}
+
+// ComputeRoutes (re)builds every host's next-hop table with BFS shortest
+// paths (hop count). Call after topology changes.
+func (n *Network) ComputeRoutes() {
+	for _, src := range n.order {
+		src.routes = make(map[packet.Addr]*linkEnd)
+		// BFS from src.
+		type qe struct {
+			h     *Host
+			first *linkEnd // first hop taken from src
+		}
+		visited := map[*Host]bool{src: true}
+		queue := []qe{}
+		for _, l := range src.links {
+			if !visited[l.to] {
+				visited[l.to] = true
+				src.routes[l.to.Addr] = l
+				queue = append(queue, qe{l.to, l})
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if !cur.h.Forwarding {
+				// Non-forwarding hosts are valid destinations but never
+				// transit points.
+				continue
+			}
+			for _, l := range cur.h.links {
+				if !visited[l.to] {
+					visited[l.to] = true
+					src.routes[l.to.Addr] = cur.first
+					queue = append(queue, qe{l.to, cur.first})
+				}
+			}
+		}
+	}
+}
+
+// AddIngressHook appends a hook run on every packet arriving from the wire,
+// before local delivery or forwarding. Hooks run in registration order.
+func (h *Host) AddIngressHook(fn Hook) { h.ingress = append(h.ingress, fn) }
+
+// AddEgressHook appends a hook run on every packet leaving the host.
+func (h *Host) AddEgressHook(fn Hook) { h.egress = append(h.egress, fn) }
+
+// SetTCPDeliver installs the host's TCP stack entry point for packets
+// addressed to this host.
+func (h *Host) SetTCPDeliver(fn func(*packet.Packet)) { h.tcpDemux = fn }
+
+// BindUDP registers a handler for UDP datagrams to the given local port.
+func (h *Host) BindUDP(port packet.Port, fn func(*packet.Packet)) {
+	h.udpBinds[port] = fn
+}
+
+// UnbindUDP removes a UDP handler.
+func (h *Host) UnbindUDP(port packet.Port) { delete(h.udpBinds, port) }
+
+func runHooks(hooks []Hook, p *packet.Packet, dir Direction) Verdict {
+	for _, fn := range hooks {
+		switch fn(p, dir) {
+		case Drop:
+			return Drop
+		case Consume:
+			return Consume
+		}
+	}
+	return Pass
+}
+
+// Send transmits a locally-originated packet: egress hooks, checksum
+// (software or offloaded), then routing and link transmission.
+func (h *Host) Send(p *packet.Packet) {
+	switch runHooks(h.egress, p, Egress) {
+	case Drop:
+		h.Stats.DropsHook++
+		return
+	case Consume:
+		return
+	}
+	h.transmit(p, h.Cost.SendPacket)
+}
+
+// SendVia transmits a packet directly to a specific neighbor, ignoring
+// destination-based routing — the primitive an SDN-style rule table needs.
+// Returns false (dropping the packet) when no direct link to via exists.
+func (h *Host) SendVia(via packet.Addr, p *packet.Packet) bool {
+	for _, l := range h.links {
+		if l.to.Addr == via {
+			done := h.CPU.Acquire(h.Cost.ForwardPacket)
+			h.Stats.PacketsOut++
+			h.Stats.BytesOut += uint64(p.Size())
+			l.send(p, done)
+			return true
+		}
+	}
+	h.Stats.DropsNoRoute++
+	return false
+}
+
+// SendDirect transmits a packet without running egress hooks. Hook code
+// (e.g. a Dysco agent splitting a packet across two paths) uses it to emit
+// packets it has already processed, avoiding re-entering itself.
+func (h *Host) SendDirect(p *packet.Packet) {
+	h.transmit(p, h.Cost.SendPacket)
+}
+
+// transmit charges CPU and puts the packet on the wire toward its
+// destination.
+func (h *Host) transmit(p *packet.Packet, baseCost sim.Time) {
+	cost := baseCost
+	if !h.ChecksumOffload {
+		cost += sim.Time(int64(h.Cost.ChecksumPerKB) * int64(p.Size()) / 1024)
+		p.Checksum = softwareChecksum(p)
+	}
+	done := h.CPU.Acquire(cost)
+	le := h.routes[p.Tuple.DstIP]
+	if le == nil {
+		h.Stats.DropsNoRoute++
+		return
+	}
+	h.Stats.PacketsOut++
+	h.Stats.BytesOut += uint64(p.Size())
+	le.send(p, done)
+}
+
+// softwareChecksum computes a transport checksum over the fields a real
+// stack would cover, without allocating a full wire image. It is stable
+// under RewriteTuple/RewriteSeqAck incremental updates in the sense that
+// the packet tests verify against full serialization.
+func softwareChecksum(p *packet.Packet) uint16 {
+	var hdr [24]byte
+	hdr[0] = byte(p.Tuple.SrcIP >> 24)
+	hdr[1] = byte(p.Tuple.SrcIP >> 16)
+	hdr[2] = byte(p.Tuple.SrcIP >> 8)
+	hdr[3] = byte(p.Tuple.SrcIP)
+	hdr[4] = byte(p.Tuple.DstIP >> 24)
+	hdr[5] = byte(p.Tuple.DstIP >> 16)
+	hdr[6] = byte(p.Tuple.DstIP >> 8)
+	hdr[7] = byte(p.Tuple.DstIP)
+	hdr[8] = byte(p.Tuple.SrcPort >> 8)
+	hdr[9] = byte(p.Tuple.SrcPort)
+	hdr[10] = byte(p.Tuple.DstPort >> 8)
+	hdr[11] = byte(p.Tuple.DstPort)
+	hdr[12] = byte(p.Seq >> 24)
+	hdr[13] = byte(p.Seq >> 16)
+	hdr[14] = byte(p.Seq >> 8)
+	hdr[15] = byte(p.Seq)
+	hdr[16] = byte(p.Ack >> 24)
+	hdr[17] = byte(p.Ack >> 16)
+	hdr[18] = byte(p.Ack >> 8)
+	hdr[19] = byte(p.Ack)
+	hdr[20] = byte(p.Flags)
+	hdr[21] = byte(p.Tuple.Proto)
+	hdr[22] = byte(p.Window >> 8)
+	hdr[23] = byte(p.Window)
+	return packet.Checksum(hdr[:], p.Payload)
+}
+
+// send models the transmit queue and the wire for one link direction.
+func (le *linkEnd) send(p *packet.Packet, ready sim.Time) {
+	eng := le.from.Net.Eng
+	size := p.Size()
+	if le.cfg.LossProb > 0 && eng.Rand().Float64() < le.cfg.LossProb {
+		le.Drops++
+		return
+	}
+	if le.queued+size > le.cfg.QueueBytes {
+		le.Drops++
+		return
+	}
+	start := ready
+	if le.busyUntil > start {
+		start = le.busyUntil
+	}
+	var tx sim.Time
+	if le.cfg.Bandwidth > 0 {
+		tx = sim.Time(float64(size) / le.cfg.Bandwidth * float64(time.Second))
+	}
+	le.busyUntil = start + tx
+	le.queued += size
+	deliverAt := le.busyUntil + le.cfg.Delay
+	dst := le.to
+	from := le.from.Addr
+	endOfTx := le.busyUntil
+	eng.At(endOfTx, func() { le.queued -= size })
+	eng.At(deliverAt, func() {
+		p.ArrivedFrom = from
+		dst.receive(p)
+	})
+}
+
+// receive handles a packet arriving from the wire.
+func (h *Host) receive(p *packet.Packet) {
+	h.Stats.PacketsIn++
+	h.Stats.BytesIn += uint64(p.Size())
+	cost := h.Cost.RecvPacket
+	if !h.ChecksumOffload {
+		cost += sim.Time(int64(h.Cost.ChecksumPerKB) * int64(p.Size()) / 1024)
+		// A real stack verifies here; corruption is not modeled on links,
+		// so verification succeeds by construction.
+	}
+	done := h.CPU.Acquire(cost)
+	h.Net.Eng.At(done, func() { h.process(p) })
+}
+
+func (h *Host) process(p *packet.Packet) {
+	switch runHooks(h.ingress, p, Ingress) {
+	case Drop:
+		h.Stats.DropsHook++
+		return
+	case Consume:
+		return
+	}
+	if h.Net.Trace != nil {
+		h.Net.Trace(h, p, Ingress)
+	}
+	if p.Tuple.DstIP == h.Addr {
+		h.deliverUp(p)
+		return
+	}
+	if !h.Forwarding {
+		h.Stats.DropsNoRoute++
+		return
+	}
+	if p.TTL <= 1 {
+		h.Stats.DropsNoRoute++
+		return
+	}
+	p.TTL--
+	h.Stats.Forwarded++
+	// Forwarded packets traverse egress hooks too: an agent on an edge
+	// router can initiate service chains for transit traffic (§2.4
+	// partial deployment).
+	switch runHooks(h.egress, p, Egress) {
+	case Drop:
+		h.Stats.DropsHook++
+		return
+	case Consume:
+		return
+	}
+	h.transmit(p, h.Cost.ForwardPacket)
+}
+
+func (h *Host) deliverUp(p *packet.Packet) {
+	switch p.Tuple.Proto {
+	case packet.ProtoTCP:
+		if h.tcpDemux != nil {
+			h.Stats.DeliveredUp++
+			h.tcpDemux(p)
+			return
+		}
+	case packet.ProtoUDP:
+		if fn, ok := h.udpBinds[p.Tuple.DstPort]; ok {
+			h.Stats.DeliveredUp++
+			fn(p)
+			return
+		}
+	}
+	h.Stats.DropsNoHandler++
+}
+
+// InjectLocal delivers a packet to this host as if it had arrived from the
+// wire, bypassing links. Used by loopback-style tests and state injection.
+func (h *Host) InjectLocal(p *packet.Packet) { h.receive(p) }
+
+// DeliverLocal hands a packet directly to the host's transport demux,
+// bypassing ingress hooks. A Dysco agent uses it to deliver a rewritten
+// packet (whose destination address is the original session's, not this
+// host's) to the local stack or application.
+func (h *Host) DeliverLocal(p *packet.Packet) { h.deliverUp(p) }
+
+// LinkTo returns the transmit link end from h toward the neighbor with
+// address a (nil if not directly connected). Exposed for tests and for
+// experiments that read drop counters.
+func (h *Host) LinkTo(a packet.Addr) *LinkEndInfo {
+	for _, l := range h.links {
+		if l.to.Addr == a {
+			return &LinkEndInfo{le: l}
+		}
+	}
+	return nil
+}
+
+// LinkEndInfo is a read-mostly view over one link direction.
+type LinkEndInfo struct{ le *linkEnd }
+
+// Drops returns packets dropped at this link end.
+func (i *LinkEndInfo) Drops() uint64 { return i.le.Drops }
+
+// QueuedBytes returns bytes currently in the transmit queue.
+func (i *LinkEndInfo) QueuedBytes() int { return i.le.queued }
+
+// SetLoss changes the random loss probability at runtime (used by failure
+// injection tests).
+func (i *LinkEndInfo) SetLoss(p float64) { i.le.cfg.LossProb = p }
+
+// SetBandwidth changes the link rate at runtime (bytes/second, 0=infinite).
+func (i *LinkEndInfo) SetBandwidth(bps float64) { i.le.cfg.Bandwidth = bps }

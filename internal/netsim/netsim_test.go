@@ -1,0 +1,330 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func twoHosts(t *testing.T, cfg LinkConfig) (*sim.Engine, *Network, *Host, *Host) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	a := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	b := n.AddHost("b", packet.MakeAddr(10, 0, 0, 2))
+	n.Connect(a, b, cfg)
+	n.ComputeRoutes()
+	return eng, n, a, b
+}
+
+func udpTo(dst *Host, src *Host, port packet.Port, payload []byte) *packet.Packet {
+	return packet.NewUDP(packet.FiveTuple{
+		SrcIP: src.Addr, DstIP: dst.Addr, SrcPort: 5555, DstPort: port,
+	}, payload)
+}
+
+func TestDeliverySingleHop(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{Delay: time.Millisecond})
+	var got *packet.Packet
+	b.BindUDP(9000, func(p *packet.Packet) { got = p })
+	a.Send(udpTo(b, a, 9000, []byte("hi")))
+	eng.RunUntilIdle()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if string(got.Payload) != "hi" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	// Propagation delay plus small CPU costs.
+	if eng.Now() < time.Millisecond || eng.Now() > time.Millisecond+time.Millisecond {
+		t.Errorf("delivery time = %v", eng.Now())
+	}
+	if a.Stats.PacketsOut != 1 || b.Stats.PacketsIn != 1 || b.Stats.DeliveredUp != 1 {
+		t.Errorf("counters: %+v %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1000 bytes/sec link: a 78-byte UDP packet takes 78 ms on the wire.
+	eng, _, a, b := twoHosts(t, LinkConfig{Bandwidth: 1000})
+	var at sim.Time
+	b.BindUDP(9000, func(p *packet.Packet) { at = eng.Now() })
+	a.Send(udpTo(b, a, 9000, make([]byte, 50))) // Size = 78
+	eng.RunUntilIdle()
+	if at < 78*time.Millisecond || at > 79*time.Millisecond {
+		t.Errorf("delivery at %v, want ≈78ms", at)
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{Bandwidth: 1000, QueueBytes: 200})
+	delivered := 0
+	b.BindUDP(9000, func(p *packet.Packet) { delivered++ })
+	for i := 0; i < 10; i++ {
+		a.Send(udpTo(b, a, 9000, make([]byte, 50))) // 78 bytes each
+	}
+	eng.RunUntilIdle()
+	if delivered >= 10 {
+		t.Errorf("no drops despite tiny queue: delivered=%d", delivered)
+	}
+	if a.LinkTo(b.Addr).Drops() == 0 {
+		t.Error("link drop counter is zero")
+	}
+	if delivered+int(a.LinkTo(b.Addr).Drops()) != 10 {
+		t.Errorf("delivered %d + drops %d != 10", delivered, a.LinkTo(b.Addr).Drops())
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{LossProb: 0.5})
+	delivered := 0
+	b.BindUDP(9000, func(p *packet.Packet) { delivered++ })
+	for i := 0; i < 1000; i++ {
+		a.Send(udpTo(b, a, 9000, nil))
+	}
+	eng.RunUntilIdle()
+	if delivered < 400 || delivered > 600 {
+		t.Errorf("delivered %d of 1000 at p=0.5", delivered)
+	}
+}
+
+func TestForwardingAndTTL(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	a := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	r := n.AddHost("r", packet.MakeAddr(10, 0, 0, 2))
+	b := n.AddHost("b", packet.MakeAddr(10, 0, 0, 3))
+	r.Forwarding = true
+	n.Connect(a, r, LinkConfig{})
+	n.Connect(r, b, LinkConfig{})
+	n.ComputeRoutes()
+
+	got := false
+	b.BindUDP(9000, func(p *packet.Packet) { got = true })
+	a.Send(udpTo(b, a, 9000, nil))
+	eng.RunUntilIdle()
+	if !got {
+		t.Fatal("multi-hop packet not delivered")
+	}
+	if r.Stats.Forwarded != 1 {
+		t.Errorf("router forwarded = %d", r.Stats.Forwarded)
+	}
+
+	// TTL exhaustion: craft a packet with TTL 1 entering the router.
+	p := udpTo(b, a, 9000, nil)
+	p.TTL = 1
+	got = false
+	a.Send(p)
+	eng.RunUntilIdle()
+	if got {
+		t.Error("TTL-1 packet crossed the router")
+	}
+}
+
+func TestNonForwardingHostDropsTransit(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	a := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	m := n.AddHost("m", packet.MakeAddr(10, 0, 0, 2)) // NOT forwarding
+	b := n.AddHost("b", packet.MakeAddr(10, 0, 0, 3))
+	n.Connect(a, m, LinkConfig{})
+	n.Connect(m, b, LinkConfig{})
+	n.ComputeRoutes()
+	got := false
+	b.BindUDP(9000, func(p *packet.Packet) { got = true })
+	a.Send(udpTo(b, a, 9000, nil))
+	eng.RunUntilIdle()
+	if got {
+		t.Error("non-forwarding host forwarded a packet")
+	}
+	// Routing refuses to transit non-forwarding hosts, so the sender has
+	// no route at all.
+	if a.Stats.DropsNoRoute == 0 {
+		t.Error("no-route drop not counted at sender")
+	}
+}
+
+func TestHooksRewriteAndDrop(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{})
+	var deliveredTo packet.Port
+	b.BindUDP(7777, func(p *packet.Packet) { deliveredTo = 7777 })
+	b.BindUDP(9000, func(p *packet.Packet) { deliveredTo = 9000 })
+
+	// Egress hook rewrites destination port (like a Dysco agent would).
+	a.AddEgressHook(func(p *packet.Packet, dir Direction) Verdict {
+		if dir != Egress {
+			t.Errorf("egress hook called with %v", dir)
+		}
+		p.Tuple.DstPort = 7777
+		return Pass
+	})
+	a.Send(udpTo(b, a, 9000, nil))
+	eng.RunUntilIdle()
+	if deliveredTo != 7777 {
+		t.Errorf("delivered to %d, want rewritten 7777", deliveredTo)
+	}
+
+	// Ingress hook drops everything.
+	b.AddIngressHook(func(p *packet.Packet, dir Direction) Verdict { return Drop })
+	deliveredTo = 0
+	a.Send(udpTo(b, a, 9000, nil))
+	eng.RunUntilIdle()
+	if deliveredTo != 0 {
+		t.Error("dropped packet was delivered")
+	}
+	if b.Stats.DropsHook == 0 {
+		t.Error("hook drop not counted")
+	}
+}
+
+func TestHookConsumeStopsProcessing(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{})
+	consumed := 0
+	b.AddIngressHook(func(p *packet.Packet, dir Direction) Verdict {
+		consumed++
+		return Consume
+	})
+	b.AddIngressHook(func(p *packet.Packet, dir Direction) Verdict {
+		t.Error("second hook ran after Consume")
+		return Pass
+	})
+	a.Send(udpTo(b, a, 9000, nil))
+	eng.RunUntilIdle()
+	if consumed != 1 {
+		t.Errorf("consumed = %d", consumed)
+	}
+	if b.Stats.DropsHook != 0 {
+		t.Error("Consume counted as drop")
+	}
+}
+
+func TestCPUCostSerializesWork(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{})
+	a.Cost = CostModel{SendPacket: 10 * time.Millisecond}
+	var last sim.Time
+	n := 0
+	b.BindUDP(9000, func(p *packet.Packet) { n++; last = eng.Now() })
+	for i := 0; i < 5; i++ {
+		a.Send(udpTo(b, a, 9000, nil))
+	}
+	eng.RunUntilIdle()
+	if n != 5 {
+		t.Fatalf("delivered %d", n)
+	}
+	if last < 50*time.Millisecond {
+		t.Errorf("5 packets at 10ms CPU each done at %v, want ≥50ms", last)
+	}
+	if a.CPU.Busy != 50*time.Millisecond {
+		t.Errorf("CPU busy = %v", a.CPU.Busy)
+	}
+}
+
+func TestChecksumOffloadCost(t *testing.T) {
+	run := func(offload bool) sim.Time {
+		eng, _, a, b := twoHosts(t, LinkConfig{})
+		a.ChecksumOffload = offload
+		b.ChecksumOffload = offload
+		a.Cost = CostModel{ChecksumPerKB: time.Millisecond}
+		b.Cost = CostModel{ChecksumPerKB: time.Millisecond}
+		done := sim.Time(0)
+		b.BindUDP(9000, func(p *packet.Packet) { done = eng.Now() })
+		a.Send(udpTo(b, a, 9000, make([]byte, 1000)))
+		eng.RunUntilIdle()
+		return done
+	}
+	withOff := run(true)
+	without := run(false)
+	if without <= withOff {
+		t.Errorf("software checksum (%v) not slower than offload (%v)", without, withOff)
+	}
+}
+
+func TestUnboundPortDrops(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{})
+	a.Send(udpTo(b, a, 12345, nil))
+	eng.RunUntilIdle()
+	if b.Stats.DropsNoHandler != 1 {
+		t.Errorf("DropsNoHandler = %d", b.Stats.DropsNoHandler)
+	}
+}
+
+func TestComputeRoutesLineTopology(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	hosts := make([]*Host, 6)
+	for i := range hosts {
+		hosts[i] = n.AddHost("h", packet.MakeAddr(10, 0, 0, byte(i+1)))
+		hosts[i].Forwarding = true
+		if i > 0 {
+			n.Connect(hosts[i-1], hosts[i], LinkConfig{Delay: time.Millisecond})
+		}
+	}
+	n.ComputeRoutes()
+	got := false
+	hosts[5].BindUDP(1, func(p *packet.Packet) { got = true })
+	hosts[0].Send(udpTo(hosts[5], hosts[0], 1, nil))
+	eng.RunUntilIdle()
+	if !got {
+		t.Fatal("end-to-end delivery over 5 hops failed")
+	}
+	if eng.Now() < 5*time.Millisecond {
+		t.Errorf("delivered at %v, want ≥5ms of propagation", eng.Now())
+	}
+}
+
+func TestSendVia(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	a := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	b := n.AddHost("b", packet.MakeAddr(10, 0, 0, 2))
+	c := n.AddHost("c", packet.MakeAddr(10, 0, 0, 3))
+	b.Forwarding = true
+	n.Connect(a, b, LinkConfig{})
+	n.Connect(b, c, LinkConfig{})
+	n.Connect(a, c, LinkConfig{}) // direct link exists
+	n.ComputeRoutes()
+	got := false
+	c.BindUDP(9, func(p *packet.Packet) { got = true })
+	// Force the packet via b even though a→c is direct.
+	p := udpTo(c, a, 9, nil)
+	if !a.SendVia(b.Addr, p) {
+		t.Fatal("SendVia to a neighbor failed")
+	}
+	eng.RunUntilIdle()
+	if !got {
+		t.Fatal("packet not delivered via b")
+	}
+	if b.Stats.Forwarded != 1 {
+		t.Errorf("b forwarded %d", b.Stats.Forwarded)
+	}
+	// No link to the target neighbor: refused.
+	if a.SendVia(packet.MakeAddr(9, 9, 9, 9), udpTo(c, a, 9, nil)) {
+		t.Error("SendVia to non-neighbor succeeded")
+	}
+}
+
+func TestForwardedPacketsTraverseEgressHooks(t *testing.T) {
+	eng := sim.NewEngine(2)
+	n := New(eng)
+	a := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	r := n.AddHost("r", packet.MakeAddr(10, 0, 0, 2))
+	b := n.AddHost("b", packet.MakeAddr(10, 0, 0, 3))
+	r.Forwarding = true
+	n.Connect(a, r, LinkConfig{})
+	n.Connect(r, b, LinkConfig{})
+	n.ComputeRoutes()
+	seen := 0
+	r.AddEgressHook(func(p *packet.Packet, dir Direction) Verdict {
+		seen++
+		return Pass
+	})
+	got := false
+	b.BindUDP(9, func(p *packet.Packet) { got = true })
+	a.Send(udpTo(b, a, 9, nil))
+	eng.RunUntilIdle()
+	if !got || seen != 1 {
+		t.Fatalf("egress hook on forwarded packet: seen=%d delivered=%v", seen, got)
+	}
+}

@@ -1,0 +1,40 @@
+package packet
+
+// TCP sequence numbers live in mod-2^32 arithmetic. These helpers implement
+// the standard serial-number comparisons (RFC 1982 style): a < b when the
+// signed distance from a to b is positive. The paper's exposition assumes
+// no wraparound; the implementation does not.
+
+// SeqLT reports a < b in sequence space.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports a <= b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports a > b in sequence space.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports a >= b in sequence space.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// SeqMax returns the later of a and b in sequence space.
+func SeqMax(a, b uint32) uint32 {
+	if SeqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqMin returns the earlier of a and b in sequence space.
+func SeqMin(a, b uint32) uint32 {
+	if SeqLT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqAdd advances s by n bytes (n may be negative: a delta, per §3.4).
+func SeqAdd(s uint32, n int64) uint32 { return uint32(int64(s) + n) }
+
+// SeqDiff returns the signed distance b−a in sequence space.
+func SeqDiff(a, b uint32) int32 { return int32(b - a) }

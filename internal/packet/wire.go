@@ -1,0 +1,400 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TCP option kinds used on the wire.
+const (
+	optEnd           = 0
+	optNOP           = 1
+	optMSS           = 2
+	optWScale        = 3
+	optSACKPermitted = 4
+	optSACK          = 5
+	optTimestamp     = 8
+	// OptDyscoTag is TCP option 253 (reserved for experimentation, RFC
+	// 4727); Dysco uses it to tag SYN packets inside middlebox hosts so an
+	// agent can match a SYN going into a five-tuple-modifying middlebox
+	// with the SYN coming out (§2.1, §4.2). Tags never leave the host.
+	OptDyscoTag = 253
+)
+
+// maxOptionBytes is the TCP limit: the 4-bit data offset caps the header at
+// 60 bytes, leaving 40 for options.
+const maxOptionBytes = 40
+
+func fixedOptionsLen(o *Options) int {
+	n := 0
+	if o.MSS != 0 {
+		n += 4
+	}
+	if o.WScale >= 0 {
+		n += 3
+	}
+	if o.SACKPermitted {
+		n += 2
+	}
+	if o.TS != nil {
+		n += 10
+	}
+	if o.HasDyscoTag {
+		n += 6
+	}
+	return n
+}
+
+// sackBlocksThatFit returns how many SACK blocks can go on the wire next to
+// the other options, as a real stack trims them (Linux sends at most 3 with
+// timestamps enabled).
+func sackBlocksThatFit(o *Options) int {
+	if len(o.SACK) == 0 {
+		return 0
+	}
+	avail := maxOptionBytes - fixedOptionsLen(o)
+	n := (avail - 2) / 8
+	if n > 4 {
+		n = 4
+	}
+	if n > len(o.SACK) {
+		n = len(o.SACK)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func optionsWireLen(o *Options) int {
+	n := fixedOptionsLen(o)
+	if blocks := sackBlocksThatFit(o); blocks > 0 {
+		n += 2 + 8*blocks
+	}
+	return n
+}
+
+func tcpHeaderLen(o *Options) int {
+	n := 20 + optionsWireLen(o)
+	if rem := n % 4; rem != 0 {
+		n += 4 - rem
+	}
+	return n
+}
+
+func appendOptions(b []byte, o *Options) []byte {
+	if o.MSS != 0 {
+		b = append(b, optMSS, 4, byte(o.MSS>>8), byte(o.MSS))
+	}
+	if o.WScale >= 0 {
+		b = append(b, optWScale, 3, byte(o.WScale))
+	}
+	if o.SACKPermitted {
+		b = append(b, optSACKPermitted, 2)
+	}
+	if n := sackBlocksThatFit(o); n > 0 {
+		blocks := o.SACK[:n]
+		b = append(b, optSACK, byte(2+8*len(blocks)))
+		for _, blk := range blocks {
+			b = binary.BigEndian.AppendUint32(b, blk.Start)
+			b = binary.BigEndian.AppendUint32(b, blk.End)
+		}
+	}
+	if o.TS != nil {
+		b = append(b, optTimestamp, 10)
+		b = binary.BigEndian.AppendUint32(b, o.TS.Val)
+		b = binary.BigEndian.AppendUint32(b, o.TS.Ecr)
+	}
+	if o.HasDyscoTag {
+		b = append(b, OptDyscoTag, 6)
+		b = binary.BigEndian.AppendUint32(b, o.DyscoTag)
+	}
+	for len(b)%4 != 0 {
+		b = append(b, optNOP)
+	}
+	return b
+}
+
+func parseOptions(b []byte, o *Options) error {
+	*o = NoOptions()
+	for len(b) > 0 {
+		kind := b[0]
+		switch kind {
+		case optEnd:
+			return nil
+		case optNOP:
+			b = b[1:]
+			continue
+		}
+		if len(b) < 2 {
+			return errors.New("packet: truncated TCP option")
+		}
+		length := int(b[1])
+		if length < 2 || length > len(b) {
+			return fmt.Errorf("packet: bad TCP option length %d", length)
+		}
+		body := b[2:length]
+		switch kind {
+		case optMSS:
+			if len(body) != 2 {
+				return errors.New("packet: bad MSS option")
+			}
+			o.MSS = binary.BigEndian.Uint16(body)
+		case optWScale:
+			if len(body) != 1 {
+				return errors.New("packet: bad window-scale option")
+			}
+			o.WScale = int8(body[0])
+		case optSACKPermitted:
+			o.SACKPermitted = true
+		case optSACK:
+			if len(body)%8 != 0 {
+				return errors.New("packet: bad SACK option")
+			}
+			for i := 0; i < len(body); i += 8 {
+				o.SACK = append(o.SACK, SACKBlock{
+					Start: binary.BigEndian.Uint32(body[i:]),
+					End:   binary.BigEndian.Uint32(body[i+4:]),
+				})
+			}
+		case optTimestamp:
+			if len(body) != 8 {
+				return errors.New("packet: bad timestamp option")
+			}
+			o.TS = &Timestamp{
+				Val: binary.BigEndian.Uint32(body),
+				Ecr: binary.BigEndian.Uint32(body[4:]),
+			}
+		case OptDyscoTag:
+			if len(body) != 4 {
+				return errors.New("packet: bad Dysco tag option")
+			}
+			o.HasDyscoTag = true
+			o.DyscoTag = binary.BigEndian.Uint32(body)
+		default:
+			// Unknown options are skipped, as a real stack would.
+		}
+		b = b[length:]
+	}
+	return nil
+}
+
+// Serialize renders the packet as wire bytes: 20-byte IPv4 header plus the
+// transport header (with options) and payload. The transport checksum is
+// computed over the pseudo-header as usual; the stored Checksum field is
+// updated to match.
+func (p *Packet) Serialize() []byte {
+	switch p.Tuple.Proto {
+	case ProtoTCP:
+		return p.serializeTCP()
+	case ProtoUDP:
+		return p.serializeUDP()
+	default:
+		panic("packet: serialize of unknown protocol")
+	}
+}
+
+func (p *Packet) serializeIP(transport []byte) []byte {
+	total := 20 + len(transport)
+	b := make([]byte, 20, total)
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	b[8] = p.TTL
+	b[9] = byte(p.Tuple.Proto)
+	binary.BigEndian.PutUint32(b[12:], uint32(p.Tuple.SrcIP))
+	binary.BigEndian.PutUint32(b[16:], uint32(p.Tuple.DstIP))
+	csum := Checksum(b)
+	binary.BigEndian.PutUint16(b[10:], csum)
+	return append(b, transport...)
+}
+
+func (p *Packet) serializeTCP() []byte {
+	hlen := tcpHeaderLen(&p.Opts)
+	b := make([]byte, 20, hlen+len(p.Payload))
+	binary.BigEndian.PutUint16(b[0:], uint16(p.Tuple.SrcPort))
+	binary.BigEndian.PutUint16(b[2:], uint16(p.Tuple.DstPort))
+	binary.BigEndian.PutUint32(b[4:], p.Seq)
+	binary.BigEndian.PutUint32(b[8:], p.Ack)
+	b[12] = byte(hlen/4) << 4
+	b[13] = byte(p.Flags)
+	binary.BigEndian.PutUint16(b[14:], p.Window)
+	b = appendOptions(b, &p.Opts)
+	b = append(b, p.Payload...)
+	ph := pseudoHeader(p.Tuple, len(b))
+	csum := Checksum(ph, b)
+	binary.BigEndian.PutUint16(b[16:], csum)
+	p.Checksum = csum
+	return p.serializeIP(b)
+}
+
+func (p *Packet) serializeUDP() []byte {
+	b := make([]byte, 8, 8+len(p.Payload))
+	binary.BigEndian.PutUint16(b[0:], uint16(p.Tuple.SrcPort))
+	binary.BigEndian.PutUint16(b[2:], uint16(p.Tuple.DstPort))
+	binary.BigEndian.PutUint16(b[4:], uint16(8+len(p.Payload)))
+	b = append(b, p.Payload...)
+	ph := pseudoHeader(p.Tuple, len(b))
+	csum := Checksum(ph, b)
+	binary.BigEndian.PutUint16(b[6:], csum)
+	p.Checksum = csum
+	return p.serializeIP(b)
+}
+
+// Parse decodes wire bytes produced by Serialize back into a Packet. It
+// verifies the transport checksum and returns an error on mismatch.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < 20 {
+		return nil, errors.New("packet: short IP header")
+	}
+	if b[0]>>4 != 4 {
+		return nil, errors.New("packet: not IPv4")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total > len(b) || total < 20 {
+		return nil, errors.New("packet: bad IP total length")
+	}
+	p := &Packet{TTL: b[8], Opts: NoOptions()}
+	p.Tuple.Proto = Proto(b[9])
+	p.Tuple.SrcIP = Addr(binary.BigEndian.Uint32(b[12:]))
+	p.Tuple.DstIP = Addr(binary.BigEndian.Uint32(b[16:]))
+	t := b[20:total]
+	switch p.Tuple.Proto {
+	case ProtoTCP:
+		if len(t) < 20 {
+			return nil, errors.New("packet: short TCP header")
+		}
+		p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
+		p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
+		p.Seq = binary.BigEndian.Uint32(t[4:])
+		p.Ack = binary.BigEndian.Uint32(t[8:])
+		hlen := int(t[12]>>4) * 4
+		if hlen < 20 || hlen > len(t) {
+			return nil, errors.New("packet: bad TCP data offset")
+		}
+		p.Flags = TCPFlags(t[13])
+		p.Window = binary.BigEndian.Uint16(t[14:])
+		p.Checksum = binary.BigEndian.Uint16(t[16:])
+		if err := parseOptions(t[20:hlen], &p.Opts); err != nil {
+			return nil, err
+		}
+		if hlen < len(t) {
+			p.Payload = append([]byte(nil), t[hlen:]...)
+		}
+		if err := verifyTransportChecksum(p.Tuple, t, 16); err != nil {
+			return nil, err
+		}
+	case ProtoUDP:
+		if len(t) < 8 {
+			return nil, errors.New("packet: short UDP header")
+		}
+		p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
+		p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
+		p.Checksum = binary.BigEndian.Uint16(t[6:])
+		if len(t) > 8 {
+			p.Payload = append([]byte(nil), t[8:]...)
+		}
+		if err := verifyTransportChecksum(p.Tuple, t, 6); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("packet: unknown protocol %d", b[9])
+	}
+	return p, nil
+}
+
+func verifyTransportChecksum(t FiveTuple, transport []byte, csumOff int) error {
+	stored := binary.BigEndian.Uint16(transport[csumOff:])
+	cp := append([]byte(nil), transport...)
+	cp[csumOff] = 0
+	cp[csumOff+1] = 0
+	want := Checksum(pseudoHeader(t, len(transport)), cp)
+	if stored != want {
+		return fmt.Errorf("packet: bad %s checksum %#04x, want %#04x", t.Proto, stored, want)
+	}
+	return nil
+}
+
+func pseudoHeader(t FiveTuple, transportLen int) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b[0:], uint32(t.SrcIP))
+	binary.BigEndian.PutUint32(b[4:], uint32(t.DstIP))
+	b[9] = byte(t.Proto)
+	binary.BigEndian.PutUint16(b[10:], uint16(transportLen))
+	return b
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over the
+// concatenation of the given byte slices.
+func Checksum(chunks ...[]byte) uint16 {
+	var sum uint32
+	odd := false
+	var carryByte byte
+	for _, b := range chunks {
+		if odd && len(b) > 0 {
+			sum += uint32(carryByte)<<8 | uint32(b[0])
+			b = b[1:]
+			odd = false
+		}
+		for len(b) >= 2 {
+			sum += uint32(b[0])<<8 | uint32(b[1])
+			b = b[2:]
+		}
+		if len(b) == 1 {
+			carryByte = b[0]
+			odd = true
+		}
+	}
+	if odd {
+		sum += uint32(carryByte) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate16 incrementally updates checksum old when a 16-bit field
+// changes from oldVal to newVal (RFC 1624 equation 3: HC' = ~(~HC + ~m + m')).
+// Dysco uses this on every rewritten packet to avoid recomputing the
+// checksum of the whole packet (§4.2).
+func ChecksumUpdate16(old uint16, oldVal, newVal uint16) uint16 {
+	sum := uint32(^old&0xffff) + uint32(^oldVal&0xffff) + uint32(newVal)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate32 incrementally updates a checksum for a 32-bit field
+// change, treating it as two 16-bit updates.
+func ChecksumUpdate32(old uint16, oldVal, newVal uint32) uint16 {
+	old = ChecksumUpdate16(old, uint16(oldVal>>16), uint16(newVal>>16))
+	return ChecksumUpdate16(old, uint16(oldVal), uint16(newVal))
+}
+
+// RewriteTuple replaces the packet's five-tuple with nt and incrementally
+// adjusts the stored transport checksum for the address and port changes
+// (addresses appear in the pseudo-header, so they affect the transport
+// checksum too).
+func (p *Packet) RewriteTuple(nt FiveTuple) {
+	old := p.Tuple
+	c := p.Checksum
+	c = ChecksumUpdate32(c, uint32(old.SrcIP), uint32(nt.SrcIP))
+	c = ChecksumUpdate32(c, uint32(old.DstIP), uint32(nt.DstIP))
+	c = ChecksumUpdate16(c, uint16(old.SrcPort), uint16(nt.SrcPort))
+	c = ChecksumUpdate16(c, uint16(old.DstPort), uint16(nt.DstPort))
+	p.Checksum = c
+	nt.Proto = old.Proto
+	p.Tuple = nt
+}
+
+// RewriteSeqAck replaces Seq and Ack, incrementally adjusting the checksum.
+func (p *Packet) RewriteSeqAck(seq, ack uint32) {
+	c := p.Checksum
+	c = ChecksumUpdate32(c, p.Seq, seq)
+	c = ChecksumUpdate32(c, p.Ack, ack)
+	p.Checksum = c
+	p.Seq = seq
+	p.Ack = ack
+}

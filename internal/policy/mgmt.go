@@ -1,0 +1,218 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rudp"
+)
+
+// MgmtPort is the management-plane port: daemons register with the policy
+// server and receive policies and coarse reconfiguration commands over
+// the reliable-UDP library (§4.1: "the daemon communicates … with the
+// policy server"; the red dashed-dotted management path of Figure 7).
+const MgmtPort packet.Port = 9904
+
+// mgmtMsg is the management wire format (JSON, as the prototype's simple
+// management protocol).
+type mgmtMsg struct {
+	Type string // hello | policy | replace | insert
+	Name string `json:",omitempty"`
+	// policy: full snapshot — rules name middlebox *types*; pools map
+	// types to instances. Agents resolve instances locally (§2.2:
+	// "policies can be pre-loaded or cached in Dysco agents").
+	Rules []WireRule `json:",omitempty"`
+	Pools []WirePool `json:",omitempty"`
+	// replace / insert commands.
+	NewInstance packet.Addr `json:",omitempty"`
+	Mbox        packet.Addr `json:",omitempty"`
+	Pred        Predicate   `json:",omitempty"`
+}
+
+// WireRule is a serializable policy rule.
+type WireRule struct {
+	Pred  Predicate
+	Chain []string
+}
+
+// WirePool is a serializable instance pool.
+type WirePool struct {
+	Type      string
+	Mode      SelectMode
+	Instances []packet.Addr
+}
+
+// ServeOn starts the policy server's management endpoint on a host.
+// Daemons that say hello receive the current policy snapshot and all
+// future pushes.
+func (s *Server) ServeOn(h *netsim.Host) {
+	s.mgmt = rudp.NewEndpoint(h, MgmtPort, rudp.Config{})
+	s.daemons = make(map[string]*rudp.Conn)
+	s.mgmt.OnConn = func(c *rudp.Conn) {
+		c.OnMessage = func(b []byte) { s.onMgmt(c, b) }
+	}
+}
+
+func (s *Server) onMgmt(c *rudp.Conn, b []byte) {
+	var m mgmtMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return
+	}
+	if m.Type == "hello" {
+		s.daemons[m.Name] = c
+		s.pushTo(c)
+	}
+}
+
+// Push distributes the current policy snapshot to every registered daemon
+// (commands "can be batched and distributed to different hosts", §4.1).
+func (s *Server) Push() {
+	for _, c := range s.daemons {
+		s.pushTo(c)
+	}
+}
+
+func (s *Server) pushTo(c *rudp.Conn) {
+	m := mgmtMsg{Type: "policy"}
+	for _, r := range s.rules {
+		m.Rules = append(m.Rules, WireRule{Pred: r.Pred, Chain: r.Chain})
+	}
+	for _, p := range s.pools {
+		m.Pools = append(m.Pools, WirePool{Type: p.Type, Mode: p.Mode, Instances: p.Instances})
+	}
+	b, _ := json.Marshal(&m)
+	c.Send(b)
+}
+
+// Daemons returns the names of registered remote daemons.
+func (s *Server) Daemons() []string {
+	out := make([]string, 0, len(s.daemons))
+	for n := range s.daemons {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CommandReplace tells the named daemon's middlebox to replace itself with
+// newInst in all ongoing sessions (§2.2's maintenance command), over the
+// management plane.
+func (s *Server) CommandReplace(daemon string, newInst packet.Addr) error {
+	c, ok := s.daemons[daemon]
+	if !ok {
+		return fmt.Errorf("policy: unknown daemon %q", daemon)
+	}
+	b, _ := json.Marshal(&mgmtMsg{Type: "replace", NewInstance: newInst})
+	return c.Send(b)
+}
+
+// CommandInsert tells the named daemon (a left-anchor host) to insert mbox
+// into every ongoing session matching pred (§2.2's scrubber command).
+func (s *Server) CommandInsert(daemon string, pred Predicate, mbox packet.Addr) error {
+	c, ok := s.daemons[daemon]
+	if !ok {
+		return fmt.Errorf("policy: unknown daemon %q", daemon)
+	}
+	b, _ := json.Marshal(&mgmtMsg{Type: "insert", Pred: pred, Mbox: mbox})
+	return c.Send(b)
+}
+
+// ManagedDaemon is the daemon-side management client: it registers with
+// the policy server, caches pushed policies, resolves middlebox types to
+// instances locally, and executes coarse commands against its agent.
+type ManagedDaemon struct {
+	Name  string
+	Agent *core.Agent
+
+	conn  *rudp.Conn
+	rules []WireRule
+	pools map[string]*Pool
+	// PolicyVersion counts received snapshots.
+	PolicyVersion int
+	// CommandsRun counts executed coarse commands.
+	CommandsRun int
+}
+
+// NewManagedDaemon connects an agent's daemon to the policy server at
+// serverAddr and installs the remotely-managed policy into the agent.
+func NewManagedDaemon(name string, agent *core.Agent, serverAddr packet.Addr) *ManagedDaemon {
+	d := &ManagedDaemon{
+		Name:  name,
+		Agent: agent,
+		pools: make(map[string]*Pool),
+	}
+	ep := rudp.NewEndpoint(agent.Host, MgmtPort, rudp.Config{})
+	d.conn = ep.Dial(serverAddr, MgmtPort)
+	d.conn.OnMessage = d.onMessage
+	hello, _ := json.Marshal(&mgmtMsg{Type: "hello", Name: name})
+	d.conn.Send(hello)
+	agent.Policy = d.chainFor
+	return d
+}
+
+func (d *ManagedDaemon) onMessage(b []byte) {
+	var m mgmtMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return
+	}
+	switch m.Type {
+	case "policy":
+		d.rules = m.Rules
+		d.pools = make(map[string]*Pool)
+		for _, wp := range m.Pools {
+			d.pools[wp.Type] = NewPool(wp.Type, wp.Mode, wp.Instances...)
+		}
+		d.PolicyVersion++
+	case "replace":
+		d.CommandsRun++
+		_, stateful := d.Agent.App.(core.StatefulApp)
+		d.Agent.EachSession(func(sess *core.Session) {
+			if sess.LeftHost == 0 || sess.RightHost == 0 {
+				return
+			}
+			if stateful {
+				d.Agent.TriggerReplaceWithState(sess.IDLeft, []packet.Addr{m.NewInstance},
+					d.Agent.Host.Addr, m.NewInstance)
+			} else {
+				d.Agent.TriggerReplace(sess.IDLeft, []packet.Addr{m.NewInstance})
+			}
+		})
+	case "insert":
+		d.CommandsRun++
+		d.Agent.EachSession(func(sess *core.Session) {
+			if !m.Pred.Matches(sess.IDLeft) || !sess.IsLeftEnd() {
+				return
+			}
+			d.Agent.StartReconfig(sess.IDLeft, core.ReconfigOptions{
+				RightAnchor:    sess.RightHost,
+				NewMiddleboxes: []packet.Addr{m.Mbox},
+			})
+		})
+	}
+}
+
+// chainFor resolves a new session's chain from the cached policy — the
+// policy server is never consulted per session (§2.2).
+func (d *ManagedDaemon) chainFor(p *packet.Packet) []packet.Addr {
+	for _, r := range d.rules {
+		if !r.Pred.Matches(p.Tuple) {
+			continue
+		}
+		var chain []packet.Addr
+		for _, typ := range r.Chain {
+			pool, ok := d.pools[typ]
+			if !ok {
+				return nil
+			}
+			inst, err := pool.Pick()
+			if err != nil {
+				return nil
+			}
+			chain = append(chain, inst)
+		}
+		return chain
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package policy_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/tcp"
+)
+
+// mgmtEnv: a policy-server host plus a small deployment, all managed over
+// the network (Figure 7's management path).
+type mgmtEnv struct {
+	env            *lab.Env
+	psHost         *lab.Node
+	client, server *lab.Node
+	m1, m2         *lab.Node
+	ps             *policy.Server
+	clientD        *policy.ManagedDaemon
+	m1D            *policy.ManagedDaemon
+}
+
+func newMgmtEnv(t *testing.T, seed int64) *mgmtEnv {
+	t.Helper()
+	link := netsim.LinkConfig{Delay: 200 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(seed)
+	e := &mgmtEnv{env: env}
+	e.psHost = env.AddNode("policyd", lab.HostOptions{Link: link})
+	e.client = env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	e.m1 = env.AddNode("m1", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	e.m2 = env.AddNode("m2", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	e.server = env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+
+	e.ps = policy.NewServer()
+	e.ps.ServeOn(e.psHost.Host)
+	e.clientD = policy.NewManagedDaemon("client", e.client.Agent, e.psHost.Addr())
+	e.m1D = policy.NewManagedDaemon("m1", e.m1.Agent, e.psHost.Addr())
+	return e
+}
+
+func TestRemotePolicyDistribution(t *testing.T) {
+	e := newMgmtEnv(t, 1)
+	e.ps.AddPool(policy.NewPool("dpi", policy.RoundRobin, e.m1.Addr()))
+	e.ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"dpi"}})
+	e.env.RunFor(100 * time.Millisecond) // hellos land
+	e.ps.Push()
+	e.env.RunFor(100 * time.Millisecond)
+
+	if e.clientD.PolicyVersion < 1 {
+		t.Fatalf("daemon never received a policy (version=%d)", e.clientD.PolicyVersion)
+	}
+	if got := len(e.ps.Daemons()); got != 2 {
+		t.Fatalf("registered daemons = %d, want 2", got)
+	}
+	// A new session resolves its chain from the daemon's cached policy.
+	got := 0
+	e.server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	c := e.client.Stack.Connect(e.server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send([]byte("managed")) }
+	e.env.RunFor(2 * time.Second)
+	if got != 7 {
+		t.Fatalf("transfer through managed chain: %d bytes", got)
+	}
+	if e.m1.Agent.App.(*mbox.Forwarder).Packets == 0 {
+		t.Error("session did not traverse the pooled middlebox")
+	}
+}
+
+func TestRemoteReplaceCommand(t *testing.T) {
+	e := newMgmtEnv(t, 2)
+	e.ps.AddPool(policy.NewPool("dpi", policy.RoundRobin, e.m1.Addr()))
+	e.ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"dpi"}})
+	e.env.RunFor(50 * time.Millisecond)
+	e.ps.Push()
+	e.env.RunFor(50 * time.Millisecond)
+
+	got := 0
+	e.server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	c := e.client.Stack.Connect(e.server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 200<<10)) }
+	e.env.RunFor(100 * time.Millisecond)
+
+	// Take m1 down for maintenance: replace it with m2 in all sessions.
+	if err := e.ps.CommandReplace("m1", e.m2.Addr()); err != nil {
+		t.Fatalf("CommandReplace: %v", err)
+	}
+	e.env.RunFor(5 * time.Second)
+	if e.m1D.CommandsRun != 1 {
+		t.Fatalf("daemon ran %d commands", e.m1D.CommandsRun)
+	}
+	if got != 200<<10 {
+		t.Fatalf("data lost during managed replacement: %d", got)
+	}
+	// New traffic flows through m2, not m1.
+	before1 := e.m1.Agent.App.(*mbox.Forwarder).Packets
+	c.Send(make([]byte, 50<<10))
+	e.env.RunFor(2 * time.Second)
+	if got != 250<<10 {
+		t.Fatalf("post-replacement transfer: %d", got)
+	}
+	if e.m1.Agent.App.(*mbox.Forwarder).Packets != before1 {
+		t.Error("m1 still sees traffic after replacement")
+	}
+	if e.m2.Agent.App.(*mbox.Forwarder).Packets == 0 {
+		t.Error("m2 sees no traffic after replacement")
+	}
+	if err := e.ps.CommandReplace("nosuch", e.m2.Addr()); err == nil {
+		t.Error("unknown daemon accepted")
+	}
+}
+
+func TestRemoteInsertCommand(t *testing.T) {
+	e := newMgmtEnv(t, 3)
+	e.ps.AddPool(policy.NewPool("dpi", policy.RoundRobin, e.m1.Addr()))
+	e.ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"dpi"}})
+	e.env.RunFor(50 * time.Millisecond)
+	e.ps.Push()
+	e.env.RunFor(50 * time.Millisecond)
+
+	got := 0
+	e.server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	c := e.client.Stack.Connect(e.server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 100<<10)) }
+	e.env.RunFor(100 * time.Millisecond)
+
+	if err := e.ps.CommandInsert("client", policy.Predicate{DstPort: 80}, e.m2.Addr()); err != nil {
+		t.Fatalf("CommandInsert: %v", err)
+	}
+	e.env.RunFor(5 * time.Second)
+	c.Send(make([]byte, 50<<10))
+	e.env.RunFor(2 * time.Second)
+	if got != 150<<10 {
+		t.Fatalf("transfer with insertion: %d", got)
+	}
+	if e.m2.Agent.App.(*mbox.Forwarder).Packets == 0 {
+		t.Error("inserted middlebox sees no traffic")
+	}
+}
+
+func TestManagementSurvivesLoss(t *testing.T) {
+	e := newMgmtEnv(t, 4)
+	// 30% loss on the policy server's access link: rudp must still deliver
+	// hellos, pushes, and commands.
+	e.psHost.Host.LinkTo(e.env.Router.Addr).SetLoss(0.3)
+	e.env.Router.LinkTo(e.psHost.Addr()).SetLoss(0.3)
+	e.ps.AddPool(policy.NewPool("dpi", policy.RoundRobin, e.m1.Addr()))
+	e.ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"dpi"}})
+	e.env.RunFor(2 * time.Second)
+	e.ps.Push()
+	e.env.RunFor(5 * time.Second)
+	if e.clientD.PolicyVersion < 1 {
+		t.Fatalf("policy not delivered under loss (version=%d)", e.clientD.PolicyVersion)
+	}
+	if len(e.ps.Daemons()) != 2 {
+		t.Fatalf("daemons registered = %d", len(e.ps.Daemons()))
+	}
+}
+
+// TestRemoteReplaceStatefulTransfersState: replacing a stateful firewall
+// through the management plane must migrate the conntrack state so the
+// new instance does not block mid-stream sessions (Figure 15 through the
+// §2.2 command path).
+func TestRemoteReplaceStatefulTransfersState(t *testing.T) {
+	link := netsim.LinkConfig{Delay: 200 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(9)
+	psHost := env.AddNode("policyd", lab.HostOptions{Link: link})
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	fw1 := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	fw2 := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	m1 := env.AddNode("m1", lab.HostOptions{Link: link, App: fw1})
+	m2 := env.AddNode("m2", lab.HostOptions{Link: link, App: fw2})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+
+	ps := policy.NewServer()
+	ps.ServeOn(psHost.Host)
+	policy.NewManagedDaemon("client", client.Agent, psHost.Addr())
+	policy.NewManagedDaemon("m1", m1.Agent, psHost.Addr())
+	ps.AddPool(policy.NewPool("fw", policy.RoundRobin, m1.Addr()))
+	ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"fw"}})
+	env.RunFor(50 * time.Millisecond)
+	ps.Push()
+	env.RunFor(50 * time.Millisecond)
+
+	got := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 100<<10)) }
+	env.RunFor(100 * time.Millisecond)
+
+	if err := ps.CommandReplace("m1", m2.Addr()); err != nil {
+		t.Fatalf("CommandReplace: %v", err)
+	}
+	env.RunFor(10 * time.Second)
+	c.Send(make([]byte, 50<<10))
+	env.RunFor(5 * time.Second)
+	if got != 150<<10 {
+		t.Fatalf("transfer across stateful replacement: %d", got)
+	}
+	if fw2.Imported != 1 {
+		t.Errorf("state not migrated: imported=%d", fw2.Imported)
+	}
+	if fw2.Dropped != 0 {
+		t.Errorf("new firewall dropped %d packets", fw2.Dropped)
+	}
+}

@@ -1,0 +1,211 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/tcp"
+)
+
+func TestPredicateMatching(t *testing.T) {
+	tup := packet.FiveTuple{
+		Proto: packet.ProtoTCP,
+		SrcIP: packet.MakeAddr(10, 0, 0, 1), DstIP: packet.MakeAddr(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80,
+	}
+	cases := []struct {
+		pred policy.Predicate
+		want bool
+	}{
+		{policy.Predicate{}, true},
+		{policy.Predicate{DstPort: 80}, true},
+		{policy.Predicate{DstPort: 443}, false},
+		{policy.Predicate{Proto: packet.ProtoTCP, DstIP: tup.DstIP}, true},
+		{policy.Predicate{SrcIP: packet.MakeAddr(9, 9, 9, 9)}, false},
+		{policy.Predicate{SrcPort: 1234, DstPort: 80}, true},
+	}
+	for i, c := range cases {
+		if got := c.pred.Matches(tup); got != c.want {
+			t.Errorf("case %d (%v): Matches = %v, want %v", i, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestPoolRoundRobinAndLeastLoad(t *testing.T) {
+	a1, a2, a3 := packet.Addr(1), packet.Addr(2), packet.Addr(3)
+	rr := policy.NewPool("fw", policy.RoundRobin, a1, a2, a3)
+	var seq []packet.Addr
+	for i := 0; i < 6; i++ {
+		a, err := rr.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, a)
+	}
+	want := []packet.Addr{a1, a2, a3, a1, a2, a3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("round robin = %v", seq)
+		}
+	}
+
+	ll := policy.NewPool("dpi", policy.LeastLoad, a1, a2)
+	ll.Pick() // a1 load 1
+	ll.Pick() // a2 load 1
+	ll.Pick() // tie → a1, load 2
+	ll.Release(a1)
+	if got, _ := ll.Pick(); got != a1 {
+		t.Errorf("least-load picked %v after release, want a1", got)
+	}
+	if ll.Load(a1) != 2 || ll.Load(a2) != 1 {
+		t.Errorf("loads = %d/%d", ll.Load(a1), ll.Load(a2))
+	}
+
+	empty := policy.NewPool("none", policy.RoundRobin)
+	if _, err := empty.Pick(); err == nil {
+		t.Error("empty pool Pick did not error")
+	}
+}
+
+func TestServerCompilesChainsIntoAgents(t *testing.T) {
+	env := lab.NewEnv(1)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond}
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	m1 := env.AddNode("fw1", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	m2 := env.AddNode("fw2", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+
+	ps := policy.NewServer()
+	ps.AddPool(policy.NewPool("fw", policy.RoundRobin, m1.Addr(), m2.Addr()))
+	ps.AddRule(policy.Rule{Pred: policy.Predicate{DstPort: 80}, Chain: []string{"fw"}})
+	ps.Attach("client", client.Agent)
+
+	got := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	// Two sessions: round robin spreads them across fw1 and fw2.
+	for i := 0; i < 2; i++ {
+		c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+		cc := c
+		c.OnEstablished = func() { cc.Send([]byte("hi")) }
+	}
+	env.RunFor(2 * time.Second)
+	if got != 4 {
+		t.Fatalf("got %d bytes", got)
+	}
+	fw1 := m1.Agent.App.(*mbox.Forwarder)
+	fw2 := m2.Agent.App.(*mbox.Forwarder)
+	if fw1.Packets == 0 || fw2.Packets == 0 {
+		t.Errorf("round robin did not spread: fw1=%d fw2=%d", fw1.Packets, fw2.Packets)
+	}
+	if ps.Selections != 2 {
+		t.Errorf("Selections = %d, want one per session", ps.Selections)
+	}
+}
+
+func TestExecCommands(t *testing.T) {
+	ps := policy.NewServer()
+	if _, err := ps.Exec("pool add fw rr 10.0.0.5 10.0.0.6"); err != nil {
+		t.Fatalf("pool add: %v", err)
+	}
+	if _, err := ps.Exec("rule add dport 80 chain fw"); err != nil {
+		t.Fatalf("rule add: %v", err)
+	}
+	out, err := ps.Exec("show rules")
+	if err != nil || !strings.Contains(out, "dport 80") {
+		t.Errorf("show rules = %q, %v", out, err)
+	}
+	out, err = ps.Exec("show pools")
+	if err != nil || !strings.Contains(out, "10.0.0.5") {
+		t.Errorf("show pools = %q, %v", out, err)
+	}
+	if _, err := ps.Exec("bogus"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := ps.Exec("rule add dport x chain fw"); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := ps.Exec("rule add dport 80"); err == nil {
+		t.Error("rule without chain accepted")
+	}
+	if _, err := ps.Exec(""); err != nil {
+		t.Error("empty line errored")
+	}
+	// The compiled rule resolves through the pool.
+	a := ps.Pool("fw")
+	if a == nil || len(a.Instances) != 2 {
+		t.Fatal("pool not installed")
+	}
+}
+
+func TestInsertForMatchingLiveSessions(t *testing.T) {
+	env := lab.NewEnv(2)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	mon := env.AddNode("mon", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	scrub := env.AddNode("scrub", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, mon)
+
+	got := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got += len(b) }
+	})
+	c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 200<<10)) }
+	env.RunFor(20 * time.Millisecond)
+
+	ps := policy.NewServer()
+	n := ps.InsertForMatching(client.Agent, policy.Predicate{DstPort: 80}, scrub.Addr())
+	if n != 1 {
+		t.Fatalf("triggered %d insertions, want 1", n)
+	}
+	env.RunFor(10 * time.Second)
+	if got != 200<<10 {
+		t.Fatalf("data lost during insertion: %d", got)
+	}
+	// Traffic sent after the insertion must traverse the scrubber.
+	c.Send(make([]byte, 50<<10))
+	env.RunFor(5 * time.Second)
+	if got != 250<<10 {
+		t.Fatalf("post-insertion data lost: %d", got)
+	}
+	scrubApp := scrub.Agent.App.(*mbox.Forwarder)
+	if scrubApp.Packets == 0 {
+		t.Error("scrubber saw no packets after insertion")
+	}
+	// Non-matching predicate triggers nothing.
+	if n := ps.InsertForMatching(client.Agent, policy.Predicate{DstPort: 443}, scrub.Addr()); n != 0 {
+		t.Errorf("non-matching insert triggered %d", n)
+	}
+}
+
+func TestExecInsertCommand(t *testing.T) {
+	ps := policy.NewServer()
+	if _, err := ps.Exec("insert nosuch 10.0.0.9"); err == nil {
+		t.Error("insert with unknown agent accepted")
+	}
+	env := lab.NewEnv(9)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond}
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	ps.Attach("client", client.Agent)
+	out, err := ps.Exec("insert client dport 80 10.0.0.9")
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if out != "triggered 0 session insertions" {
+		t.Errorf("out = %q", out)
+	}
+	if _, err := ps.Exec("insert client dport 80 bogus"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,294 @@
+// Package rudp is a reliable, ordered datagram layer over UDP — the
+// counterpart of the prototype's shared "message serialization and
+// reliable UDP transmission" library (§4.1), which the Dysco daemon and
+// the policy server build their management protocol on.
+//
+// Each Conn provides exactly-once, in-order delivery of messages to one
+// peer: sequence numbers, cumulative-plus-selective acknowledgment,
+// retransmission with exponential backoff, duplicate suppression, and
+// reordering. An Endpoint demultiplexes many Conns on one UDP port.
+package rudp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Wire format: magic(2) kind(1) seq(4) [payload].
+const (
+	magic0 = 0xd7
+	magic1 = 0x5d
+
+	kindData = 1
+	kindAck  = 2
+
+	headerLen = 7
+)
+
+// Config tunes a connection.
+type Config struct {
+	// RTO is the initial retransmission timeout (default 5 ms; the
+	// management plane runs on LAN-scale paths).
+	RTO sim.Time
+	// MaxRetries bounds retransmissions before the connection is declared
+	// dead (default 10).
+	MaxRetries int
+	// Window bounds unacknowledged outstanding messages (default 64).
+	Window int
+}
+
+func (c *Config) fillDefaults() {
+	if c.RTO == 0 {
+		c.RTO = 5 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	if c.Window == 0 {
+		c.Window = 64
+	}
+}
+
+// Endpoint owns a UDP port and demultiplexes reliable connections by peer
+// address/port.
+type Endpoint struct {
+	Host *netsim.Host
+	Port packet.Port
+	// OnConn announces a connection created by an inbound message. Set it
+	// before traffic arrives.
+	OnConn func(*Conn)
+
+	cfg   Config
+	eng   *sim.Engine
+	conns map[peerKey]*Conn
+}
+
+type peerKey struct {
+	addr packet.Addr
+	port packet.Port
+}
+
+// NewEndpoint binds a reliable-datagram endpoint on the host/port.
+func NewEndpoint(h *netsim.Host, port packet.Port, cfg Config) *Endpoint {
+	cfg.fillDefaults()
+	e := &Endpoint{
+		Host:  h,
+		Port:  port,
+		cfg:   cfg,
+		eng:   h.Net.Eng,
+		conns: make(map[peerKey]*Conn),
+	}
+	h.BindUDP(port, e.input)
+	return e
+}
+
+// Close unbinds the endpoint and stops every connection's timers.
+func (e *Endpoint) Close() {
+	e.Host.UnbindUDP(e.Port)
+	for _, c := range e.conns {
+		c.stopTimers()
+	}
+}
+
+// Dial returns the (shared) connection to a peer endpoint, creating it if
+// needed.
+func (e *Endpoint) Dial(addr packet.Addr, port packet.Port) *Conn {
+	k := peerKey{addr, port}
+	if c, ok := e.conns[k]; ok {
+		return c
+	}
+	c := newConn(e, k)
+	e.conns[k] = c
+	return c
+}
+
+func (e *Endpoint) input(p *packet.Packet) {
+	if len(p.Payload) < headerLen || p.Payload[0] != magic0 || p.Payload[1] != magic1 {
+		return
+	}
+	k := peerKey{p.Tuple.SrcIP, p.Tuple.SrcPort}
+	c, ok := e.conns[k]
+	if !ok {
+		c = newConn(e, k)
+		e.conns[k] = c
+		if e.OnConn != nil {
+			e.OnConn(c)
+		}
+	}
+	kind := p.Payload[2]
+	seq := binary.BigEndian.Uint32(p.Payload[3:7])
+	switch kind {
+	case kindData:
+		c.onData(seq, p.Payload[headerLen:])
+	case kindAck:
+		c.onAck(seq)
+	}
+}
+
+// Conn is one reliable, ordered message stream to a peer.
+type Conn struct {
+	ep   *Endpoint
+	peer peerKey
+
+	// OnMessage delivers each message exactly once, in order.
+	OnMessage func([]byte)
+	// OnDead fires when a message exhausts its retries (peer unreachable).
+	OnDead func()
+
+	sendSeq  uint32 // next sequence to assign
+	ackedTo  uint32 // all below this acknowledged
+	unacked  map[uint32]*pendingMsg
+	sendQ    []queued // waiting for window space
+	recvNext uint32
+	recvBuf  map[uint32][]byte
+	dead     bool
+
+	// Stats
+	Sent        uint64
+	Delivered   uint64
+	Retransmits uint64
+	Duplicates  uint64
+}
+
+type queued struct {
+	seq     uint32
+	payload []byte
+}
+
+type pendingMsg struct {
+	payload []byte
+	timer   *sim.Timer
+	retries int
+}
+
+func newConn(e *Endpoint, k peerKey) *Conn {
+	return &Conn{
+		ep:      e,
+		peer:    k,
+		unacked: make(map[uint32]*pendingMsg),
+		recvBuf: make(map[uint32][]byte),
+	}
+}
+
+// Peer returns the remote address and port.
+func (c *Conn) Peer() (packet.Addr, packet.Port) { return c.peer.addr, c.peer.port }
+
+// Dead reports whether the connection gave up on an unacknowledged
+// message.
+func (c *Conn) Dead() bool { return c.dead }
+
+// Send queues one message for reliable in-order delivery.
+func (c *Conn) Send(msg []byte) error {
+	if c.dead {
+		return errors.New("rudp: connection is dead")
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	if len(c.unacked) >= c.ep.cfg.Window {
+		c.sendQ = append(c.sendQ, queued{seq, msg})
+		return nil
+	}
+	c.transmit(seq, msg, 0)
+	return nil
+}
+
+func (c *Conn) transmit(seq uint32, msg []byte, retries int) {
+	pm := &pendingMsg{payload: msg, retries: retries}
+	pm.timer = sim.NewTimer(c.ep.eng, func() { c.onTimeout(seq) })
+	backoff := c.ep.cfg.RTO * sim.Time(1<<uint(min(retries, 10)))
+	pm.timer.Reset(backoff)
+	c.unacked[seq] = pm
+	c.Sent++
+	c.emit(kindData, seq, msg)
+}
+
+func (c *Conn) emit(kind byte, seq uint32, payload []byte) {
+	buf := make([]byte, headerLen, headerLen+len(payload))
+	buf[0], buf[1], buf[2] = magic0, magic1, kind
+	binary.BigEndian.PutUint32(buf[3:], seq)
+	buf = append(buf, payload...)
+	p := packet.NewUDP(packet.FiveTuple{
+		SrcIP: c.ep.Host.Addr, DstIP: c.peer.addr,
+		SrcPort: c.ep.Port, DstPort: c.peer.port,
+	}, buf)
+	c.ep.Host.Send(p)
+}
+
+func (c *Conn) onTimeout(seq uint32) {
+	pm, ok := c.unacked[seq]
+	if !ok {
+		return
+	}
+	pm.retries++
+	if pm.retries > c.ep.cfg.MaxRetries {
+		c.dead = true
+		c.stopTimers()
+		if c.OnDead != nil {
+			c.OnDead()
+		}
+		return
+	}
+	c.Retransmits++
+	backoff := c.ep.cfg.RTO * sim.Time(1<<uint(min(pm.retries, 10)))
+	pm.timer.Reset(backoff)
+	c.emit(kindData, seq, pm.payload)
+}
+
+func (c *Conn) onAck(seq uint32) {
+	if pm, ok := c.unacked[seq]; ok {
+		pm.timer.Stop()
+		delete(c.unacked, seq)
+		// Admit queued messages into the window.
+		for len(c.sendQ) > 0 && len(c.unacked) < c.ep.cfg.Window {
+			q := c.sendQ[0]
+			c.sendQ = c.sendQ[1:]
+			c.transmit(q.seq, q.payload, 0)
+		}
+	}
+}
+
+func (c *Conn) onData(seq uint32, payload []byte) {
+	// Always (re-)acknowledge: the previous ack may have been lost.
+	c.emit(kindAck, seq, nil)
+	if seq < c.recvNext || c.recvBuf[seq] != nil {
+		c.Duplicates++
+		return
+	}
+	c.recvBuf[seq] = append([]byte(nil), payload...)
+	for {
+		msg, ok := c.recvBuf[c.recvNext]
+		if !ok {
+			return
+		}
+		delete(c.recvBuf, c.recvNext)
+		c.recvNext++
+		c.Delivered++
+		if c.OnMessage != nil {
+			c.OnMessage(msg)
+		}
+	}
+}
+
+func (c *Conn) stopTimers() {
+	for _, pm := range c.unacked {
+		pm.timer.Stop()
+	}
+}
+
+// String identifies the connection.
+func (c *Conn) String() string {
+	return fmt.Sprintf("rudp %v:%d->%v:%d", c.ep.Host.Addr, c.ep.Port, c.peer.addr, c.peer.port)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

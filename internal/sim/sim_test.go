@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("Now() = %v, want 3ms", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	e.RunUntilIdle()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	now := e.Run(3 * time.Second)
+	if count != 3 {
+		t.Errorf("executed %d events by 3s, want 3", count)
+	}
+	if now != 3*time.Second {
+		t.Errorf("Run returned %v, want 3s", now)
+	}
+	e.Run(10 * time.Second)
+	if count != 5 {
+		t.Errorf("executed %d events total, want 5", count)
+	}
+}
+
+func TestRunAdvancesToUntilWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.Run(5 * time.Second); got != 5*time.Second {
+		t.Errorf("Run on empty queue = %v, want 5s", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Microsecond, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.RunUntilIdle()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Microsecond {
+		t.Errorf("Now() = %v, want 99µs", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 2 {
+		t.Errorf("count = %d after Stop, want 2", count)
+	}
+	if e.Pending() != 3 {
+		t.Errorf("Pending() = %d, want 3", e.Pending())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestTimer(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(time.Millisecond)
+	tm.Reset(2 * time.Millisecond) // re-arm replaces prior schedule
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	e.RunUntilIdle()
+	if fires != 1 {
+		t.Errorf("fires = %d, want 1", fires)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("fired at %v, want 2ms", e.Now())
+	}
+	tm.Reset(time.Millisecond)
+	tm.Stop()
+	e.RunUntilIdle()
+	if fires != 1 {
+		t.Errorf("stopped timer fired; fires = %d", fires)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	e.RunUntilIdle()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if e.Now() != 0 {
+		t.Errorf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, func() {})
+		if i%1024 == 0 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

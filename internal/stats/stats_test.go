@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEq(s.Mean, 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// sample stddev of this classic set is sqrt(32/7)
+	if !almostEq(s.Stddev, math.Sqrt(32.0/7.0)) {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.FractionBelow(50); !almostEq(got, 0.5) {
+		t.Errorf("FractionBelow(50) = %v, want 0.5", got)
+	}
+	if got := c.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v, want 0", got)
+	}
+	if got := c.FractionBelow(1000); got != 1 {
+		t.Errorf("FractionBelow(1000) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.99); got < 99 || got > 100 {
+		t.Errorf("Quantile(0.99) = %v", got)
+	}
+	pts := c.Points(10)
+	if len(pts) == 0 || pts[len(pts)-1][1] != 1 {
+		t.Errorf("Points final fraction != 1: %v", pts)
+	}
+}
+
+func TestCDFAddAfterQuery(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	_ = c.FractionBelow(1)
+	c.Add(0.5) // must re-sort lazily
+	if got := c.FractionBelow(0.75); !almostEq(got, 0.5) {
+		t.Errorf("FractionBelow(0.75) = %v, want 0.5", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(0, 10)
+	ts.Add(500*time.Millisecond, 5)
+	ts.Add(2500*time.Millisecond, 7)
+	bins := ts.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("len(bins) = %d, want 3", len(bins))
+	}
+	if bins[0] != 15 || bins[1] != 0 || bins[2] != 7 {
+		t.Errorf("bins = %v", bins)
+	}
+	if ts.Bin(99) != 0 {
+		t.Errorf("Bin(99) = %v, want 0", ts.Bin(99))
+	}
+	if got := ts.MeanOver(0, 3); !almostEq(got, 22.0/3.0) {
+		t.Errorf("MeanOver = %v", got)
+	}
+	r := ts.Rate()
+	if r[0] != 15 {
+		t.Errorf("Rate[0] = %v, want 15 (per second)", r[0])
+	}
+}
+
+func TestTimeSeriesNegativeIgnored(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(-time.Second, 3)
+	if len(ts.Bins()) != 0 {
+		t.Error("negative time was binned")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if !almostEq(Mbps(125000), 1) {
+		t.Errorf("Mbps(125000) = %v", Mbps(125000))
+	}
+	if !almostEq(Gbps(1.25e9), 10) {
+		t.Errorf("Gbps(1.25e9) = %v", Gbps(1.25e9))
+	}
+}
+
+// Property: CDF quantile and FractionBelow are approximate inverses.
+func TestQuantileFractionInverseProperty(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			c.Add(x)
+		}
+		p := math.Mod(math.Abs(pRaw), 1)
+		q := c.Quantile(p)
+		// Everything at or below the p-quantile is at least fraction p
+		// (within one sample of slack for interpolation).
+		frac := c.FractionBelow(q)
+		return frac+1.0/float64(c.N()) >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize.Mean is within [Min, Max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

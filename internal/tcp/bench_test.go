@@ -1,0 +1,70 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// BenchmarkBulkTransfer measures simulator+stack throughput: virtual bytes
+// delivered per wall-clock second of benchmarking.
+func BenchmarkBulkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i))
+		n := netsim.New(eng)
+		hc := n.AddHost("c", packet.MakeAddr(10, 0, 0, 1))
+		hs := n.AddHost("s", packet.MakeAddr(10, 0, 0, 2))
+		n.Connect(hc, hs, netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)})
+		n.ComputeRoutes()
+		client := NewStack(hc)
+		server := NewStack(hs)
+		got := 0
+		server.Listen(80, func(c *Conn) {
+			c.OnData = func(p []byte) { got += len(p) }
+		})
+		c := client.Connect(hs.Addr, 80, Config{})
+		c.OnEstablished = func() { c.Send(make([]byte, 1<<20)) }
+		eng.Run(time.Second)
+		if got != 1<<20 {
+			b.Fatalf("delivered %d", got)
+		}
+		b.SetBytes(1 << 20)
+	}
+}
+
+// BenchmarkHandshake measures connection setup cost through the simulator.
+func BenchmarkHandshake(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := netsim.New(eng)
+	hc := n.AddHost("c", packet.MakeAddr(10, 0, 0, 1))
+	hs := n.AddHost("s", packet.MakeAddr(10, 0, 0, 2))
+	n.Connect(hc, hs, netsim.LinkConfig{Delay: 10 * time.Microsecond})
+	n.ComputeRoutes()
+	client := NewStack(hc)
+	server := NewStack(hs)
+	server.Listen(80, func(c *Conn) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := client.Connect(hs.Addr, 80, Config{})
+		eng.Run(eng.Now() + time.Millisecond)
+		if c.State() != StateEstablished {
+			b.Fatal("not established")
+		}
+		c.Abort()
+	}
+}
+
+func BenchmarkScoreboardMerge(b *testing.B) {
+	blocks := []packet.SACKBlock{{Start: 1000, End: 2000}, {Start: 5000, End: 6000}, {Start: 9000, End: 9500}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb sackScoreboard
+		sb.merge(blocks, 0)
+		sb.firstHole(0, 20000)
+	}
+}

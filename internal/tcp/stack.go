@@ -1,0 +1,222 @@
+// Package tcp is a userspace TCP implementation running over the netsim
+// substrate. It provides what the paper's unmodified Linux host stacks
+// provide underneath Dysco: the three-way handshake, cumulative
+// acknowledgments, Reno congestion control with fast retransmit and RTO,
+// selective acknowledgments (with the Linux behaviour of discarding
+// packets whose SACK blocks carry invalid sequence numbers), timestamps
+// (with PAWS-style rejection of stale values), window scaling, and
+// per-direction FIN teardown.
+//
+// Dysco agents operate entirely below this package, rewriting packets at
+// the host boundary; nothing in this package knows Dysco exists.
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config carries per-connection TCP parameters.
+type Config struct {
+	// MSS is the maximum segment size offered (default 1460).
+	MSS int
+	// DisableSACK turns off offering selective acknowledgments (on by
+	// default).
+	DisableSACK bool
+	// DisableTimestamps turns off the timestamp option (on by default).
+	DisableTimestamps bool
+	// WScale is the window-scale shift offered; 0 means the default of 7,
+	// NoWScale disables window scaling.
+	WScale int8
+	// RecvBuf is the receive buffer in bytes (default 4 MB), which bounds
+	// the advertised window.
+	RecvBuf int
+	// MinRTO/MaxRTO bound the retransmission timeout (defaults 200 ms / 60 s,
+	// the Linux values).
+	MinRTO sim.Time
+	MaxRTO sim.Time
+	// InitialCwndSegs is the initial congestion window in segments
+	// (default 10, RFC 6928).
+	InitialCwndSegs int
+	// NoDelay disables Nagle's algorithm (which coalesces sub-MSS writes
+	// while data is in flight, as Linux does by default).
+	NoDelay bool
+}
+
+// NoWScale disables window scaling when set as Config.WScale.
+const NoWScale int8 = -1
+
+// DefaultConfig returns the default TCP parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:             1460,
+		WScale:          7,
+		RecvBuf:         4 << 20,
+		MinRTO:          200 * time.Millisecond,
+		MaxRTO:          60 * time.Second,
+		InitialCwndSegs: 10,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.WScale == 0 {
+		c.WScale = d.WScale
+	} else if c.WScale == NoWScale {
+		c.WScale = -1
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = d.RecvBuf
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.InitialCwndSegs == 0 {
+		c.InitialCwndSegs = d.InitialCwndSegs
+	}
+}
+
+// Stack is the per-host TCP instance. It registers itself as the host's
+// TCP demultiplexer.
+type Stack struct {
+	Host *netsim.Host
+	eng  *sim.Engine
+
+	listeners map[packet.Port]func(*Conn)
+	conns     map[packet.FiveTuple]*Conn // keyed by local tuple (Src=local)
+	nextPort  packet.Port
+
+	// tsOffset randomizes the timestamp clock per stack, as real hosts'
+	// TS clocks are unsynchronized; Dysco's timestamp translation across
+	// spliced sessions is meaningless without it.
+	tsOffset uint32
+
+	// Stats
+	Accepted  uint64
+	Connected uint64
+	RSTsSent  uint64
+}
+
+// NewStack attaches a TCP stack to a host.
+func NewStack(h *netsim.Host) *Stack {
+	s := &Stack{
+		Host:      h,
+		eng:       h.Net.Eng,
+		listeners: make(map[packet.Port]func(*Conn)),
+		conns:     make(map[packet.FiveTuple]*Conn),
+		nextPort:  32768,
+		tsOffset:  h.Net.Eng.Rand().Uint32(),
+	}
+	h.SetTCPDeliver(s.deliver)
+	return s
+}
+
+// Listen registers an accept callback for a local port. Each new inbound
+// connection is announced through onAccept once established.
+func (s *Stack) Listen(port packet.Port, onAccept func(*Conn)) {
+	s.listeners[port] = onAccept
+}
+
+// Unlisten removes a listener.
+func (s *Stack) Unlisten(port packet.Port) { delete(s.listeners, port) }
+
+// allocPort returns an unused ephemeral port.
+func (s *Stack) allocPort() packet.Port {
+	for i := 0; i < 65536; i++ {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 32768
+		}
+		inUse := false
+		for t := range s.conns {
+			if t.SrcPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+	panic("tcp: out of ephemeral ports")
+}
+
+// Connect opens a connection to dst:dstPort with the given config and
+// returns the connection in SYN-SENT state. Completion is reported via
+// conn.OnEstablished.
+func (s *Stack) Connect(dst packet.Addr, dstPort packet.Port, cfg Config) *Conn {
+	cfg.fillDefaults()
+	tuple := packet.FiveTuple{
+		Proto:   packet.ProtoTCP,
+		SrcIP:   s.Host.Addr,
+		DstIP:   dst,
+		SrcPort: s.allocPort(),
+		DstPort: dstPort,
+	}
+	c := newConn(s, tuple, cfg)
+	s.conns[tuple] = c
+	c.startActiveOpen()
+	return c
+}
+
+// deliver demultiplexes an inbound TCP packet to its connection, or to a
+// listener for SYNs, or answers with RST.
+func (s *Stack) deliver(p *packet.Packet) {
+	local := p.Tuple.Reverse() // key from our perspective
+	if c, ok := s.conns[local]; ok {
+		c.input(p)
+		return
+	}
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+		if onAccept, ok := s.listeners[p.Tuple.DstPort]; ok {
+			cfg := DefaultConfig()
+			c := newConn(s, local, cfg)
+			c.onAccept = onAccept
+			s.conns[local] = c
+			c.startPassiveOpen(p)
+			return
+		}
+	}
+	if !p.Flags.Has(packet.FlagRST) {
+		s.sendRST(p)
+	}
+}
+
+func (s *Stack) sendRST(in *packet.Packet) {
+	s.RSTsSent++
+	rst := packet.NewTCP(in.Tuple.Reverse(), packet.FlagRST|packet.FlagACK, in.Ack, in.SeqEnd(), nil)
+	s.Host.Send(rst)
+}
+
+func (s *Stack) removeConn(c *Conn) { delete(s.conns, c.tuple) }
+
+// Conns returns the number of live connections (all states but CLOSED).
+func (s *Stack) Conns() int { return len(s.conns) }
+
+// tsNow returns the timestamp-option clock value: virtual milliseconds
+// plus a per-host random offset.
+func (s *Stack) tsNow() uint32 {
+	return s.tsOffset + uint32(s.eng.Now()/time.Millisecond)
+}
+
+// TSNow exposes the stack's timestamp clock (Dysco splice needs it to
+// compute timestamp deltas).
+func (s *Stack) TSNow() uint32 { return s.tsNow() }
+
+// Find returns the connection whose local five-tuple (Src = this host's
+// side) matches, or nil.
+func (s *Stack) Find(local packet.FiveTuple) *Conn { return s.conns[local] }
+
+// String identifies the stack by host.
+func (s *Stack) String() string { return fmt.Sprintf("tcp@%s", s.Host.Name) }

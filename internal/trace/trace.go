@@ -1,0 +1,180 @@
+// Package trace captures packets at host boundaries — a tcpdump for the
+// simulated network. Captures record virtual timestamps, direction, and
+// the full header; they render as tcpdump-style text and support
+// five-tuple filters. Tests and examples use traces to assert on exact
+// wire behaviour (e.g. that subsession five-tuples, not session headers,
+// appear between hosts).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Record is one captured packet.
+type Record struct {
+	Time    sim.Time
+	Host    string
+	Dir     netsim.Direction
+	Tuple   packet.FiveTuple
+	Flags   packet.TCPFlags
+	Seq     uint32
+	Ack     uint32
+	Len     int
+	Window  uint16
+	HasTS   bool
+	SACKLen int
+}
+
+// String renders the record tcpdump-style.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-10s %-7v %v", r.Time, r.Host, r.Dir, r.Tuple)
+	if r.Tuple.Proto == packet.ProtoTCP {
+		fmt.Fprintf(&b, " %v seq=%d ack=%d len=%d win=%d", r.Flags, r.Seq, r.Ack, r.Len, r.Window)
+		if r.SACKLen > 0 {
+			fmt.Fprintf(&b, " sack=%d", r.SACKLen)
+		}
+	} else {
+		fmt.Fprintf(&b, " len=%d", r.Len)
+	}
+	return b.String()
+}
+
+// Filter selects packets; nil matches everything.
+type Filter func(p *packet.Packet) bool
+
+// TCPOnly matches TCP packets.
+func TCPOnly(p *packet.Packet) bool { return p.IsTCP() }
+
+// UDPOnly matches UDP packets.
+func UDPOnly(p *packet.Packet) bool { return p.IsUDP() }
+
+// Port matches packets with the given source or destination port.
+func Port(port packet.Port) Filter {
+	return func(p *packet.Packet) bool {
+		return p.Tuple.SrcPort == port || p.Tuple.DstPort == port
+	}
+}
+
+// Between matches packets exchanged between two addresses (either
+// direction).
+func Between(a, b packet.Addr) Filter {
+	return func(p *packet.Packet) bool {
+		return (p.Tuple.SrcIP == a && p.Tuple.DstIP == b) ||
+			(p.Tuple.SrcIP == b && p.Tuple.DstIP == a)
+	}
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(p *packet.Packet) bool {
+		for _, f := range fs {
+			if f != nil && !f(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Capture accumulates records from one or more hosts.
+type Capture struct {
+	eng    *sim.Engine
+	filter Filter
+	recs   []Record
+	// Limit bounds stored records (0 = 100k); older records are kept,
+	// new ones dropped, and Truncated set.
+	Limit     int
+	Truncated bool
+}
+
+// New creates a capture with an optional filter.
+func New(eng *sim.Engine, filter Filter) *Capture {
+	return &Capture{eng: eng, filter: filter, Limit: 100_000}
+}
+
+// Attach starts capturing at a host boundary, both directions. The hook
+// observes packets after earlier hooks (e.g. a Dysco agent) have run when
+// attached after them, so what it sees is what the wire sees.
+func (c *Capture) Attach(h *netsim.Host) {
+	hook := func(p *packet.Packet, dir netsim.Direction) netsim.Verdict {
+		c.observe(h.Name, p, dir)
+		return netsim.Pass
+	}
+	h.AddIngressHook(hook)
+	h.AddEgressHook(hook)
+}
+
+func (c *Capture) observe(host string, p *packet.Packet, dir netsim.Direction) {
+	if c.filter != nil && !c.filter(p) {
+		return
+	}
+	if len(c.recs) >= c.Limit {
+		c.Truncated = true
+		return
+	}
+	r := Record{
+		Time:  c.eng.Now(),
+		Host:  host,
+		Dir:   dir,
+		Tuple: p.Tuple,
+		Flags: p.Flags,
+		Seq:   p.Seq,
+		Ack:   p.Ack,
+		Len:   p.DataLen(),
+	}
+	if p.IsTCP() {
+		r.Window = p.Window
+		r.HasTS = p.Opts.TS != nil
+		r.SACKLen = len(p.Opts.SACK)
+	}
+	c.recs = append(c.recs, r)
+}
+
+// Records returns the captured packets in order.
+func (c *Capture) Records() []Record { return c.recs }
+
+// Count returns captured packet count.
+func (c *Capture) Count() int { return len(c.recs) }
+
+// Grep returns records whose rendered line contains substr.
+func (c *Capture) Grep(substr string) []Record {
+	var out []Record
+	for _, r := range c.recs {
+		if strings.Contains(r.String(), substr) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Tuples returns the distinct five-tuples observed, in first-seen order.
+func (c *Capture) Tuples() []packet.FiveTuple {
+	seen := make(map[packet.FiveTuple]bool)
+	var out []packet.FiveTuple
+	for _, r := range c.recs {
+		if !seen[r.Tuple] {
+			seen[r.Tuple] = true
+			out = append(out, r.Tuple)
+		}
+	}
+	return out
+}
+
+// Dump renders the whole capture.
+func (c *Capture) Dump() string {
+	var b strings.Builder
+	for _, r := range c.recs {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	if c.Truncated {
+		b.WriteString("... capture truncated ...\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// TestCaptureShowsSubsessionTuplesOnWire uses a capture to verify the
+// paper's core data-plane property at the wire level: between hosts the
+// packets carry subsession five-tuples, never the original session header.
+func TestCaptureShowsSubsessionTuplesOnWire(t *testing.T) {
+	env := lab.NewEnv(1)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond}
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	mb := env.AddNode("mb", lab.HostOptions{Link: link, App: &mbox.Forwarder{}})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, mb)
+
+	// Capture at the router: pure wire view, after all agents.
+	cap := trace.New(env.Eng, trace.TCPOnly)
+	cap.Attach(env.Router)
+
+	server.Stack.Listen(80, func(c *tcp.Conn) {})
+	c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 10000)) }
+	env.RunFor(time.Second)
+
+	if cap.Count() == 0 {
+		t.Fatal("nothing captured")
+	}
+	session := c.Tuple()
+	for _, tup := range cap.Tuples() {
+		if tup == session || tup == session.Reverse() {
+			t.Fatalf("original session header %v appeared on the wire", tup)
+		}
+	}
+	// Both chain hops appear: client→mb and mb→server subsessions.
+	sawToMb, sawToSrv := false, false
+	for _, tup := range cap.Tuples() {
+		if tup.DstIP == mb.Addr() {
+			sawToMb = true
+		}
+		if tup.DstIP == server.Addr() {
+			sawToSrv = true
+		}
+	}
+	if !sawToMb || !sawToSrv {
+		t.Errorf("missing chain hops in capture: tuples=%v", cap.Tuples())
+	}
+}
+
+func TestFiltersAndRendering(t *testing.T) {
+	env := lab.NewEnv(2)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond}
+	a := env.AddNode("a", lab.HostOptions{Link: link, Stack: true})
+	b := env.AddNode("b", lab.HostOptions{Link: link, Stack: true})
+	env.Net.ComputeRoutes()
+
+	all := trace.New(env.Eng, nil)
+	all.Attach(a.Host)
+	port80 := trace.New(env.Eng, trace.And(trace.TCPOnly, trace.Port(80)))
+	port80.Attach(a.Host)
+	between := trace.New(env.Eng, trace.Between(a.Addr(), b.Addr()))
+	between.Attach(a.Host)
+
+	b.Stack.Listen(80, func(c *tcp.Conn) {})
+	b.Stack.Listen(81, func(c *tcp.Conn) {})
+	c80 := a.Stack.Connect(b.Addr(), 80, tcp.Config{})
+	c80.OnEstablished = func() { c80.Send([]byte("eighty")) }
+	c81 := a.Stack.Connect(b.Addr(), 81, tcp.Config{})
+	_ = c81
+	env.RunFor(time.Second)
+
+	if port80.Count() >= all.Count() {
+		t.Errorf("port filter did not reduce the capture: %d vs %d", port80.Count(), all.Count())
+	}
+	for _, r := range port80.Records() {
+		if r.Tuple.SrcPort != 80 && r.Tuple.DstPort != 80 {
+			t.Fatalf("filter leak: %v", r)
+		}
+	}
+	if between.Count() != all.Count() {
+		t.Errorf("between(a,b) should match everything here: %d vs %d", between.Count(), all.Count())
+	}
+	dump := all.Dump()
+	if !strings.Contains(dump, "SYN") || !strings.Contains(dump, "a") {
+		t.Errorf("dump rendering suspicious:\n%s", dump)
+	}
+	if got := all.Grep("SYN|ACK"); len(got) == 0 {
+		t.Error("Grep found no SYN|ACK")
+	}
+}
+
+func TestCaptureLimit(t *testing.T) {
+	env := lab.NewEnv(3)
+	a := env.AddNode("a", lab.HostOptions{Link: netsim.LinkConfig{}})
+	b := env.AddNode("b", lab.HostOptions{Link: netsim.LinkConfig{}})
+	env.Net.ComputeRoutes()
+	cap := trace.New(env.Eng, nil)
+	cap.Limit = 5
+	cap.Attach(a.Host)
+	for i := 0; i < 20; i++ {
+		a.Host.Send(packet.NewUDP(packet.FiveTuple{
+			SrcIP: a.Addr(), DstIP: b.Addr(), SrcPort: 1, DstPort: 2,
+		}, nil))
+	}
+	env.RunFor(time.Millisecond)
+	if cap.Count() != 5 || !cap.Truncated {
+		t.Fatalf("limit not enforced: %d truncated=%v", cap.Count(), cap.Truncated)
+	}
+	if !strings.Contains(cap.Dump(), "truncated") {
+		t.Error("dump does not mention truncation")
+	}
+}
