@@ -1,0 +1,98 @@
+// Command dyscolint runs the repo's static-analysis suite (internal/lint)
+// over the module: it loads, parses, and type-checks every package using
+// only the standard library, applies the determinism / sequence-arithmetic
+// / concurrency analyzers, and prints findings as file:line:col lines.
+// It exits non-zero when any finding survives //lint:ignore suppression.
+//
+// Usage:
+//
+//	dyscolint [-rules walltime,seqarith,...] [packages]
+//
+// The only package patterns supported are "./..." (the whole module, the
+// default) and directory paths relative to the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule list (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			dir := strings.TrimSuffix(arg, "/...")
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(cwd, dir)
+			}
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dyscolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dyscolint:", err)
+	os.Exit(2)
+}

@@ -79,7 +79,10 @@ func main() {
 				fmt.Println("no session; connect first")
 				continue
 			}
-			conns[len(conns)-1].Send(make([]byte, n))
+			if err := conns[len(conns)-1].Send(make([]byte, n)); err != nil {
+				fmt.Println("send:", err)
+				continue
+			}
 			env.RunFor(time.Second)
 			fmt.Printf("server has received %d bytes total\n", received)
 		case "run":

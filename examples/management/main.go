@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/lab"
@@ -50,7 +51,11 @@ func main() {
 		c.OnData = func(b []byte) { received += len(b) }
 	})
 	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
-	conn.OnEstablished = func() { conn.Send(make([]byte, 512<<10)) }
+	conn.OnEstablished = func() {
+		if err := conn.Send(make([]byte, 512<<10)); err != nil {
+			fmt.Println("send:", err)
+		}
+	}
 	env.RunFor(200 * time.Millisecond)
 	m1 := dpi1.Agent.App.(*mbox.Monitor)
 	fmt.Printf("session chained through dpi1 (cached policy): %d sessions tracked\n", len(m1.Sessions))
@@ -63,7 +68,9 @@ func main() {
 		return
 	}
 	env.RunFor(5 * time.Second)
-	conn.Send(make([]byte, 128<<10))
+	if err := conn.Send(make([]byte, 128<<10)); err != nil {
+		fmt.Println("send:", err)
+	}
 	env.RunFor(2 * time.Second)
 
 	m2 := dpi2.Agent.App.(*mbox.Monitor)
@@ -71,7 +78,12 @@ func main() {
 		received, conn.State())
 	fmt.Printf("dpi1 now tracks %d sessions at its agent; dpi2 monitor sees %d session(s)\n",
 		dpi1.Agent.Sessions(), len(m2.Sessions))
+	var lines []string
 	for tuple, e := range m2.Sessions {
-		fmt.Printf("  dpi2 %v: %d packets\n", tuple, e.Packets)
+		lines = append(lines, fmt.Sprintf("  dpi2 %v: %d packets", tuple, e.Packets))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 }

@@ -49,7 +49,11 @@ func main() {
 
 	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
 	const total = 4 << 20
-	conn.OnEstablished = func() { conn.Send(make([]byte, total)) }
+	conn.OnEstablished = func() {
+		if err := conn.Send(make([]byte, total)); err != nil {
+			fmt.Println("send:", err)
+		}
+	}
 
 	// Sample the proxy's packet counters to show traffic leaving it.
 	for _, at := range []time.Duration{1 * time.Second, 3 * time.Second} {
@@ -63,7 +67,9 @@ func main() {
 	fmt.Printf("proxy sessions remaining at its agent: %d (state fully reclaimed)\n",
 		proxyHost.Agent.Sessions())
 	before := proxyHost.Host.Stats.PacketsIn
-	conn.Send([]byte("one more message after removal"))
+	if err := conn.Send([]byte("one more message after removal")); err != nil {
+		fmt.Println("send:", err)
+	}
 	env.RunFor(2 * time.Second)
 	fmt.Printf("post-removal traffic bypasses the proxy: %v (packets in: %d → %d)\n",
 		proxyHost.Host.Stats.PacketsIn == before, before, proxyHost.Host.Stats.PacketsIn)

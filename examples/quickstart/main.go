@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/lab"
@@ -41,15 +42,22 @@ func main() {
 	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
 	conn.OnEstablished = func() {
 		fmt.Printf("client established %v\n", conn.Tuple())
-		conn.Send(make([]byte, 256<<10))
+		if err := conn.Send(make([]byte, 256<<10)); err != nil {
+			fmt.Println("send:", err)
+		}
 	}
 
 	env.RunFor(5 * time.Second)
 
 	fmt.Printf("\nserver received %d bytes\n", received)
 	fmt.Printf("middlebox saw the session with its original header:\n")
+	var lines []string
 	for tuple, e := range monitor.Sessions {
-		fmt.Printf("  %v: %d packets, %d bytes\n", tuple, e.Packets, e.Bytes)
+		lines = append(lines, fmt.Sprintf("  %v: %d packets, %d bytes", tuple, e.Packets, e.Bytes))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	fmt.Printf("\nagent state:\n")
 	for _, n := range []*lab.Node{client, mb, server} {

@@ -33,7 +33,11 @@ func main() {
 		c.OnData = func(b []byte) { received += len(b) }
 	})
 	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
-	conn.OnEstablished = func() { conn.Send(make([]byte, 100<<10)) }
+	conn.OnEstablished = func() {
+		if err := conn.Send(make([]byte, 100<<10)); err != nil {
+			fmt.Println("send:", err)
+		}
+	}
 	env.RunFor(2 * time.Second)
 	fmt.Printf("before insertion: server has %d bytes; scrubber inspected %d packets\n",
 		received, scrubApp.Inspected)
@@ -46,14 +50,18 @@ func main() {
 	env.RunFor(2 * time.Second)
 
 	// Clean traffic passes through the scrubber...
-	conn.Send(make([]byte, 50<<10))
+	if err := conn.Send(make([]byte, 50<<10)); err != nil {
+		fmt.Println("send:", err)
+	}
 	env.RunFor(2 * time.Second)
 	fmt.Printf("after insertion: server has %d bytes; scrubber inspected %d packets, dropped %d\n",
 		received, scrubApp.Inspected, scrubApp.Dropped)
 
 	// ...and malicious payloads are now dropped mid-session.
 	before := received
-	conn.Send([]byte("data containing ATTACK signature"))
+	if err := conn.Send([]byte("data containing ATTACK signature")); err != nil {
+		fmt.Println("send:", err)
+	}
 	env.RunFor(2 * time.Second)
 	fmt.Printf("malicious payload dropped by scrubber: %v (dropped=%d)\n",
 		scrubApp.Dropped > 0, scrubApp.Dropped)

@@ -38,7 +38,11 @@ func main() {
 		c.OnData = func(b []byte) { received += len(b) }
 	})
 	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
-	conn.OnEstablished = func() { conn.Send(make([]byte, 1<<20)) }
+	conn.OnEstablished = func() {
+		if err := conn.Send(make([]byte, 1<<20)); err != nil {
+			fmt.Println("send:", err)
+		}
+	}
 	env.RunFor(500 * time.Millisecond)
 	fmt.Printf("running through firewall1: tracked=%d passed=%d\n", fw1App.Tracked(), fw1App.Passed)
 	fmt.Printf("firewall2 before migration: tracked=%d\n", fw2App.Tracked())
@@ -65,7 +69,9 @@ func main() {
 
 	fmt.Printf("firewall2 after migration: tracked=%d imported=%d dropped=%d\n",
 		fw2App.Tracked(), fw2App.Imported, fw2App.Dropped)
-	conn.Send(make([]byte, 100<<10))
+	if err := conn.Send(make([]byte, 100<<10)); err != nil {
+		fmt.Println("send:", err)
+	}
 	env.RunFor(5 * time.Second)
 	fmt.Printf("post-migration traffic flows through firewall2: passed=%d, dropped=%d\n",
 		fw2App.Passed, fw2App.Dropped)

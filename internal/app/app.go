@@ -149,7 +149,9 @@ func (h *HTTPServer) Serve(stack *tcp.Stack, port packet.Port) {
 				}
 				resp := make([]byte, 4+size)
 				binary.BigEndian.PutUint32(resp, size)
-				c.Send(resp)
+				if err := c.Send(resp); err != nil {
+					return // connection closing: remaining responses are moot
+				}
 			}
 		}
 		c.OnPeerFIN = func() { c.Close() }

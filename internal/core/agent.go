@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/netsim"
@@ -239,14 +240,24 @@ func (a *Agent) Session(id packet.FiveTuple) *Session { return a.sessions[id] }
 // Sessions returns the number of tracked sessions.
 func (a *Agent) Sessions() int { return len(a.sessions) }
 
-// EachSession visits every distinct session record at this hop.
+// EachSession visits every distinct session record at this hop, in
+// five-tuple order. Callers schedule events and send packets (keepalives,
+// bulk reconfiguration), so visiting in randomized map order would make
+// two runs with the same seed diverge.
 func (a *Agent) EachSession(fn func(*Session)) {
 	seen := make(map[*Session]bool, len(a.sessions))
+	var sessions []*Session
 	for _, sess := range a.sessions {
 		if !seen[sess] {
 			seen[sess] = true
-			fn(sess)
+			sessions = append(sessions, sess)
 		}
+	}
+	sort.Slice(sessions, func(i, j int) bool {
+		return sessions[i].IDLeft.Less(sessions[j].IDLeft)
+	})
+	for _, sess := range sessions {
+		fn(sess)
 	}
 }
 
@@ -502,8 +513,8 @@ func (a *Agent) track(p *packet.Packet, e *rewriteEntry, in bool) {
 	}
 	if in {
 		if p.Flags.Has(packet.FlagSYN) {
-			seqInit(&sess.rcvdHi, &sess.rcvdHiOK, p.Seq+1)
-			seqInit(&sess.rcvdAckedHi, &sess.rcvdAckedOK, p.Seq+1)
+			seqInit(&sess.rcvdHi, &sess.rcvdHiOK, packet.SeqAdd(p.Seq, 1))
+			seqInit(&sess.rcvdAckedHi, &sess.rcvdAckedOK, packet.SeqAdd(p.Seq, 1))
 		} else if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
 			seqInit(&sess.rcvdHi, &sess.rcvdHiOK, dataSeqEnd(p))
 		}
@@ -515,7 +526,7 @@ func (a *Agent) track(p *packet.Packet, e *rewriteEntry, in bool) {
 		}
 	} else {
 		if p.Flags.Has(packet.FlagSYN) {
-			seqInit(&sess.sentHi, &sess.sentHiOK, p.Seq+1)
+			seqInit(&sess.sentHi, &sess.sentHiOK, packet.SeqAdd(p.Seq, 1))
 			seqInit(&sess.sentAckedHi, &sess.sentAckedOK, p.Seq) // not yet acked
 		} else if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
 			seqInit(&sess.sentHi, &sess.sentHiOK, dataSeqEnd(p))

@@ -79,8 +79,8 @@ func (a *Agent) Splice(left, right SpliceConn, contentDelta, contentDeltaBack in
 	rightWritePos := packet.SeqAdd(right.SndUna(), int64(right.BufferedOut()))
 	leftWritePos := packet.SeqAdd(left.SndUna(), int64(left.BufferedOut()))
 	sess.MboxDeltas = Deltas{
-		Right:   int64(rightWritePos - left.RcvNxt()),
-		Left:    int64(leftWritePos - right.RcvNxt()),
+		Right:   int64(packet.SeqDiff(left.RcvNxt(), rightWritePos)),
+		Left:    int64(packet.SeqDiff(right.RcvNxt(), leftWritePos)),
 		RightTS: int64(right.TSNow() - left.TSRecent()),
 		LeftTS:  int64(left.TSNow() - right.TSRecent()),
 		// The right anchor rescales its outgoing windows from its own

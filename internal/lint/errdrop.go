@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ErrdropAnalyzer flags discarded error returns from the wire-format
+// encode/decode functions of internal/packet and the send paths of
+// internal/tcp. A dropped Parse error means a corrupt packet silently
+// becomes a zero value; a dropped Conn.Send error means bytes an
+// application believes are in flight were never queued — both invalidate
+// the delivery bookkeeping the reconfiguration protocol (§3.5) depends on.
+//
+// A call whose result is explicitly assigned to _ is deliberate and not
+// flagged; a bare call statement is.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently dropped errors from internal/packet codecs or internal/tcp send paths",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			path := funcPkgPath(fn)
+			target := ""
+			switch {
+			case pathHasSuffix(path, "internal/packet"):
+				target = "packet." + fn.Name()
+			case pathHasSuffix(path, "internal/tcp"):
+				if recv := recvNamed(fn); recv != nil {
+					target = recv.Obj().Name() + "." + fn.Name()
+				} else {
+					target = "tcp." + fn.Name()
+				}
+			default:
+				return true
+			}
+			out = append(out, Finding{
+				Rule: "errdrop",
+				Pos:  position(pkg, call),
+				Msg:  fmt.Sprintf("error returned by %s is silently dropped; handle it or assign to _ with a justification", target),
+			})
+			return true
+		})
+	}
+	return out
+}

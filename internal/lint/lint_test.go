@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean runs the full analyzer suite over every package of
+// this module — the same check `go run ./cmd/dyscolint ./...` performs —
+// and fails on any surviving finding. This makes the determinism and
+// safety invariants part of the tier-1 test gate: a change that schedules
+// events from map iteration or does raw sequence arithmetic fails
+// `go test ./...`, not just a separately-run linter.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not a short test")
+	}
+	pkgs, err := getLoader(t).LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	findings := Run(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d finding(s); run `go run ./cmd/dyscolint ./...` and fix or suppress with //lint:ignore <rule> <reason>", len(findings))
+	}
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis,
+// with everything an analyzer needs: syntax, types, and positions.
+type Package struct {
+	// PkgPath is the import path (e.g. "repro/internal/tcp").
+	PkgPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset maps AST nodes to positions (shared across the whole load).
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package's non-test Go files, in
+	// filename order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries identifier resolution and expression types.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard library:
+// module-internal import paths resolve against the module root, everything
+// else resolves from GOROOT source. No export data, no network, no
+// golang.org/x/tools.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	imported map[string]*types.Package // import cache (dependencies)
+	loading  map[string]bool           // cycle detection
+}
+
+// NewLoader creates a loader for the module rooted at dir (the directory
+// containing go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	modPath, err := readModulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		ModulePath: modPath,
+		imported:   make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadAll loads every package in the module (directories containing at
+// least one non-test .go file), sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || name == "testdata" || name == "scripts") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads and type-checks the package in a single directory of the
+// module, with full syntax and type info for analysis.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := l.ModulePath
+	if rel != "." {
+		pkgPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(pkgPath, dir, files)
+}
+
+// CheckSource type-checks in-memory sources as a package with the given
+// import path and runs no analyzers. Used by analyzer unit tests to build
+// fixtures that live at specific package paths (e.g. a virtual-clock
+// package). filenames map to file contents.
+func (l *Loader) CheckSource(pkgPath string, sources map[string]string) (*Package, error) {
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(pkgPath, "", files)
+}
+
+// check type-checks parsed files as package pkgPath.
+func (l *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			errs = append(errs, err)
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %v", pkgPath, errs[0])
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// parseDir parses the build-constraint-selected non-test Go files of dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer by type-checking dependencies from
+// source: module-internal paths from the module root, all others from
+// GOROOT/src. Results are cached for the life of the loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imported[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var dir string
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+	} else {
+		bp, err := build.Default.Import(path, "", build.FindOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: cannot find %q: %w", path, err)
+		}
+		dir = bp.Dir
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error: func(err error) {
+			errs = append(errs, err)
+		},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil || !pkg.Complete() && len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking dependency %q: %v", path, errs)
+	}
+	// With IgnoreFuncBodies some body-level errors never surface; a non-nil
+	// package with resolved scope is all dependents need.
+	pkg.MarkComplete()
+	l.imported[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LocksafeAnalyzer guards the daemon's forthcoming concurrent paths:
+//
+//   - a sync.Mutex/RWMutex held across a channel send/receive/select or a
+//     call back into the simulator step (Engine.Run/RunUntilIdle/Schedule/
+//     At) — the classic deadlock / lock-order shape once the engine is
+//     driven from multiple goroutines;
+//   - an explicit mu.Unlock() while a `defer mu.Unlock()` for the same
+//     lock is pending — a guaranteed double-unlock panic at return.
+//
+// The analysis is per-function and syntactic over the statement tree: the
+// held set is tracked through nested blocks in source order. That is
+// deliberately conservative and cheap; cross-function lock flows need the
+// ignore directive with a written justification.
+var LocksafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no channel ops or simulator re-entry under a held mutex; no defer+explicit double unlock",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pkg: pkg, held: map[string]bool{}, deferred: map[string]bool{}}
+			w.walkStmts(fd.Body.List)
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pkg      *Package
+	held     map[string]bool // lock expressions currently held
+	deferred map[string]bool // locks with a pending defer-unlock
+	findings []Finding
+}
+
+// lockMethod classifies a call as Lock/Unlock on a sync mutex, returning
+// the printed receiver expression and whether it acquires.
+func (w *lockWalker) lockMethod(call *ast.CallExpr) (key string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	tv, ok := w.pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, release
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, acq, rel := w.lockMethod(call); key != "" {
+				if acq {
+					w.held[key] = true
+				}
+				if rel {
+					if w.deferred[key] {
+						w.findings = append(w.findings, Finding{
+							Rule: "locksafe",
+							Pos:  position(w.pkg, call),
+							Msg:  fmt.Sprintf("%s.Unlock() with a deferred unlock of the same mutex pending: double unlock at return", key),
+						})
+					}
+					delete(w.held, key)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		if key, _, rel := w.lockMethod(s.Call); key != "" && rel {
+			w.deferred[key] = true
+			return
+		}
+		w.checkExpr(s.Call)
+	case *ast.SendStmt:
+		w.flagHeld(s, "channel send")
+	case *ast.SelectStmt:
+		w.flagHeld(s, "select")
+		if s.Body != nil {
+			w.walkStmts(s.Body.List)
+		}
+	case *ast.GoStmt:
+		w.checkExpr(s.Call)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		w.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		w.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+// checkExpr looks for channel receives and simulator re-entry inside an
+// expression evaluated while locks may be held.
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.flagHeld(n, "channel receive")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(w.pkg, n); fn != nil {
+				if recv := recvNamed(fn); recv != nil &&
+					pathIs(recv, "internal/sim", "Engine") && effectfulEngineMethods[fn.Name()] {
+					w.flagHeld(n, "simulator call Engine."+fn.Name())
+				}
+			}
+		case *ast.FuncLit:
+			return false // deferred execution: not under this lock scope
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) flagHeld(n ast.Node, what string) {
+	if len(w.held) == 0 {
+		return
+	}
+	// One finding per site, naming the first held lock in sorted order so
+	// the report itself is deterministic.
+	var first string
+	for key := range w.held {
+		if first == "" || key < first {
+			first = key
+		}
+	}
+	w.findings = append(w.findings, Finding{
+		Rule: "locksafe",
+		Pos:  position(w.pkg, n),
+		Msg:  fmt.Sprintf("%s while holding %s: blocks the simulator step and invites deadlock", what, first),
+	})
+}

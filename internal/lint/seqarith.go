@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// SeqarithAnalyzer flags direct ordered comparison and +/- arithmetic on
+// raw uint32 TCP sequence-number values. Sequence numbers live in mod-2^32
+// serial-number space: `a < b` and `a+n` silently break at the wraparound,
+// which is exactly the regime Dysco's delta translation (§3.4) operates in
+// on long-lived sessions. All arithmetic must go through the
+// internal/packet helpers (SeqLT, SeqGT, SeqLEQ, SeqGEQ, SeqAdd, SeqDiff,
+// SeqMin, SeqMax), which are exempt — they are the one place the modular
+// trick is written down and tested.
+var SeqarithAnalyzer = &Analyzer{
+	Name: "seqarith",
+	Doc:  "no raw <,>,+,- on uint32 sequence numbers outside internal/packet/seq.go",
+	Run:  runSeqarith,
+}
+
+// seqNameRE matches identifiers that carry sequence-space values in this
+// codebase: seq/ack fields, ISS/IRS, snd/rcv markers, anchor counters, and
+// TCP timestamp values (also serial-number space, RFC 7323).
+var seqNameRE = regexp.MustCompile(`(?i)(seq|ack|iss|irs|nxt|una|rcvd|sent|hi$|ecr|tsval|cursor|recoverpt)`)
+
+var seqArithOps = map[token.Token]bool{
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.ADD: true, token.SUB: true,
+}
+
+func runSeqarith(pkg *Package) []Finding {
+	if pathHasSuffix(pkg.PkgPath, "internal/lint") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		// The helpers themselves are the sanctioned home of raw arithmetic.
+		if pathHasSuffix(pkg.PkgPath, "internal/packet") &&
+			filepath.Base(pkg.Fset.Position(file.Pos()).Filename) == "seq.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !seqArithOps[be.Op] {
+				return true
+			}
+			if !isPlainUint32(pkg, be.X) && !isPlainUint32(pkg, be.Y) {
+				return true
+			}
+			// Both sides must be uint32-compatible (one may be an untyped
+			// constant); mixed-type arithmetic doesn't compile anyway.
+			if !seqOperand(pkg, be.X) && !seqOperand(pkg, be.Y) {
+				return true
+			}
+			verb := "arithmetic"
+			fix := "packet.SeqAdd/SeqDiff"
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				verb = "comparison"
+				fix = "packet.SeqLT/SeqGT/SeqLEQ/SeqGEQ"
+			}
+			out = append(out, Finding{
+				Rule: "seqarith",
+				Pos:  position(pkg, be),
+				Msg: fmt.Sprintf("raw uint32 sequence-number %s %q breaks at the 2^32 wraparound; use %s",
+					verb, be.Op.String(), fix),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isPlainUint32 reports whether the expression's type is the unnamed basic
+// type uint32. Named types over uint32 (packet.Addr, packet.Port) carry
+// different semantics and are excluded.
+func isPlainUint32(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant operand: offsets like +1 are the other side
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.Uint32
+}
+
+// seqOperand reports whether the expression mentions an identifier that
+// names a sequence-space value.
+func seqOperand(pkg *Package, e ast.Expr) bool {
+	var names []string
+	leafIdents(e, &names)
+	for _, name := range names {
+		if seqNameRE.MatchString(strings.TrimSpace(name)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// virtualClockPkgs are the packages whose notion of time must come from the
+// sim engine's virtual clock and whose randomness must come from an
+// injected seeded source. Matched by path suffix so fixture packages under
+// any module prefix participate.
+var virtualClockPkgs = []string{
+	"internal/netsim",
+	"internal/sim",
+	"internal/core",
+	"internal/tcp",
+	"internal/mbox",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Duration
+// constants and arithmetic (time.Second, time.Duration) remain legal: the
+// sim clock is expressed in time.Duration units.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the only package-level math/rand functions a
+// virtual-clock package may call: constructors for an explicitly seeded
+// source. Everything else (rand.Intn, rand.Float64, rand.Seed, ...) uses
+// the global, nondeterministically-seeded source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// WalltimeAnalyzer enforces determinism of the simulation's clock and
+// randomness: inside virtual-clock packages, all time comes from
+// sim.Engine.Now and all randomness from the engine's seeded *rand.Rand.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock time or unseeded randomness in virtual-clock packages",
+	Run:  runWalltime,
+}
+
+func runWalltime(pkg *Package) []Finding {
+	restricted := false
+	for _, p := range virtualClockPkgs {
+		if pathHasSuffix(pkg.PkgPath, p) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			// Only flag package-level *functions*: time.Second (a constant)
+			// and the time.Duration type are fine, and so are methods on an
+			// explicitly seeded *rand.Rand (eng.Rand().Float64()).
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[obj.Name()] {
+					out = append(out, Finding{
+						Rule: "walltime",
+						Pos:  position(pkg, sel),
+						Msg: fmt.Sprintf("time.%s leaks wall-clock time into a virtual-clock package; use the sim engine's clock",
+							obj.Name()),
+					})
+				}
+			case "math/rand":
+				if !allowedRandFuncs[obj.Name()] {
+					out = append(out, Finding{
+						Rule: "walltime",
+						Pos:  position(pkg, sel),
+						Msg: fmt.Sprintf("rand.%s uses the global unseeded source; draw from the engine's seeded *rand.Rand",
+							obj.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -84,6 +84,7 @@ func (pair *ProxyPair) relay(b []byte, to *tcp.Conn, rightward bool) {
 	if p.RelayCostPerKB > 0 {
 		p.Stack.Host.CPU.Acquire(sim.Time(int64(p.RelayCostPerKB) * int64(len(b)) / 1024))
 	}
+	//lint:ignore errdrop the outbound side may be closing mid-relay; the sender's TCP retransmission covers the gap
 	to.Send(b)
 	if rightward && !pair.spliced && p.AutoSpliceAfter > 0 && pair.right >= uint64(p.AutoSpliceAfter) {
 		pair.Splice()

@@ -135,6 +135,7 @@ func Explore(init State, maxStates int) (Stats, *Violation) {
 // sortedKeys renders a map deterministically for Key encodings.
 func sortedKeys[K comparable, V any](m map[K]V, format func(K, V) string) string {
 	parts := make([]string, 0, len(m))
+	//lint:ignore mapiter format is a pure formatter and parts are sorted before joining
 	for k, v := range m {
 		parts = append(parts, format(k, v))
 	}

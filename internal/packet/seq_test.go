@@ -1,0 +1,102 @@
+package packet
+
+import "testing"
+
+// Wraparound edge cases for the serial-number helpers. These are the
+// exact situations raw uint32 operators get wrong — the seqarith lint
+// rule forces all callers through here, so the boundary behaviour must be
+// pinned down.
+
+func TestSeqAddWraparound(t *testing.T) {
+	tests := []struct {
+		s    uint32
+		n    int64
+		want uint32
+	}{
+		{0xFFFFFFF0, 0x20, 0x10},    // crosses the wrap mid-segment
+		{0xFFFFFFFF, 1, 0},          // lands exactly on zero
+		{0, -1, 0xFFFFFFFF},         // backs over the wrap
+		{0x10, -0x20, 0xFFFFFFF0},   // negative delta across the wrap
+		{0, 1 << 31, 0x80000000},    // half the space in one hop
+		{0xFFFFFFF0, 0, 0xFFFFFFF0}, // identity
+		{123, 4_294_967_296, 123},   // a full 2^32 cycle is a no-op
+		{123, -4_294_967_296, 123},  // ... in either direction
+		{0x80000000, -(1 << 31), 0}, // back down half the space
+	}
+	for _, tt := range tests {
+		if got := SeqAdd(tt.s, tt.n); got != tt.want {
+			t.Errorf("SeqAdd(%#x, %#x) = %#x, want %#x", tt.s, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSeqComparisonsAcrossWrap(t *testing.T) {
+	// b is 0x20 bytes "after" a, but numerically smaller: every raw
+	// operator inverts here.
+	a, b := uint32(0xFFFFFFF0), SeqAdd(0xFFFFFFF0, 0x20)
+	if b != 0x10 {
+		t.Fatalf("setup: b = %#x", b)
+	}
+	if !SeqLT(a, b) || SeqLT(b, a) {
+		t.Errorf("SeqLT inverted across wrap: SeqLT(%#x,%#x)=%v", a, b, SeqLT(a, b))
+	}
+	if !SeqGT(b, a) || SeqGT(a, b) {
+		t.Errorf("SeqGT inverted across wrap")
+	}
+	if !SeqLEQ(a, b) || !SeqLEQ(a, a) || SeqLEQ(b, a) {
+		t.Errorf("SeqLEQ wrong across wrap")
+	}
+	if !SeqGEQ(b, a) || !SeqGEQ(b, b) || SeqGEQ(a, b) {
+		t.Errorf("SeqGEQ wrong across wrap")
+	}
+	if SeqMax(a, b) != b || SeqMin(a, b) != a {
+		t.Errorf("SeqMax/SeqMin wrong across wrap: max=%#x min=%#x", SeqMax(a, b), SeqMin(a, b))
+	}
+}
+
+func TestSeqDiffSignAcrossWrap(t *testing.T) {
+	tests := []struct {
+		a, b uint32
+		want int32
+	}{
+		{0xFFFFFFF0, 0x10, 0x20},   // forward distance across the wrap
+		{0x10, 0xFFFFFFF0, -0x20},  // and backwards
+		{5, 5, 0},                  // equal
+		{0, 0x7FFFFFFF, 1<<31 - 1}, // largest forward distance
+		{0x7FFFFFFF, 0, -(1<<31 - 1)},
+	}
+	for _, tt := range tests {
+		if got := SeqDiff(tt.a, tt.b); got != tt.want {
+			t.Errorf("SeqDiff(%#x, %#x) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSeqAddDiffRoundTrip(t *testing.T) {
+	// SeqAdd(a, SeqDiff(a, b)) == b for every signed distance, including
+	// across the wrap: the pair is how §3.4 deltas are computed at splice
+	// time and applied per packet.
+	points := []uint32{0, 1, 0x10, 0x7FFFFFFF, 0x80000000, 0xFFFFFFF0, 0xFFFFFFFF}
+	for _, a := range points {
+		for _, b := range points {
+			if got := SeqAdd(a, int64(SeqDiff(a, b))); got != b {
+				t.Errorf("SeqAdd(%#x, SeqDiff(%#x,%#x)) = %#x, want %#x", a, a, b, got, b)
+			}
+		}
+	}
+}
+
+func TestSeqHalfSpaceBoundary(t *testing.T) {
+	// At exactly 2^31 apart the ordering is ambiguous by construction
+	// (RFC 1982); pin the implementation's choice so it cannot drift:
+	// int32(a-b) = math.MinInt32 < 0, so a < b and NOT a > b, for both
+	// orientations.
+	a, b := uint32(0), uint32(0x80000000)
+	if !SeqLT(a, b) || !SeqLT(b, a) {
+		t.Errorf("half-space: SeqLT(%#x,%#x)=%v SeqLT(%#x,%#x)=%v; both should hold",
+			a, b, SeqLT(a, b), b, a, SeqLT(b, a))
+	}
+	if SeqGT(a, b) || SeqGT(b, a) {
+		t.Errorf("half-space: SeqGT should hold in neither direction")
+	}
+}

@@ -68,6 +68,24 @@ func (ft FiveTuple) Reverse() FiveTuple {
 	}
 }
 
+// Less orders five-tuples lexicographically by field. It exists so code
+// that walks per-session maps can visit sessions in a deterministic order
+// (Go map iteration is randomized per run).
+func (ft FiveTuple) Less(o FiveTuple) bool {
+	switch {
+	case ft.Proto != o.Proto:
+		return ft.Proto < o.Proto
+	case ft.SrcIP != o.SrcIP:
+		return ft.SrcIP < o.SrcIP
+	case ft.DstIP != o.DstIP:
+		return ft.DstIP < o.DstIP
+	case ft.SrcPort != o.SrcPort:
+		return ft.SrcPort < o.SrcPort
+	default:
+		return ft.DstPort < o.DstPort
+	}
+}
+
 // String renders "tcp 1.2.3.4:80 > 5.6.7.8:12345".
 func (ft FiveTuple) String() string {
 	return fmt.Sprintf("%s %s:%d > %s:%d", ft.Proto, ft.SrcIP, ft.SrcPort, ft.DstIP, ft.DstPort)

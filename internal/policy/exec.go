@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -61,7 +62,13 @@ func (s *Server) Exec(line string) (string, error) {
 		var b strings.Builder
 		switch fields[1] {
 		case "pools":
-			for typ, p := range s.pools {
+			typs := make([]string, 0, len(s.pools))
+			for typ := range s.pools {
+				typs = append(typs, typ)
+			}
+			sort.Strings(typs)
+			for _, typ := range typs {
+				p := s.pools[typ]
 				fmt.Fprintf(&b, "%s:", typ)
 				for _, in := range p.Instances {
 					fmt.Fprintf(&b, " %v(load=%d)", in, p.Load(in))

@@ -256,7 +256,7 @@ func (c *Conn) onAck(seq uint32) {
 func (c *Conn) onData(seq uint32, payload []byte) {
 	// Always (re-)acknowledge: the previous ack may have been lost.
 	c.emit(kindAck, seq, nil)
-	if seq < c.recvNext || c.recvBuf[seq] != nil {
+	if packet.SeqLT(seq, c.recvNext) || c.recvBuf[seq] != nil {
 		c.Duplicates++
 		return
 	}

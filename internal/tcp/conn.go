@@ -225,7 +225,7 @@ func (c *Conn) startActiveOpen() {
 func (c *Conn) startPassiveOpen(syn *packet.Packet) {
 	c.state = StateSynRcvd
 	c.irs = syn.Seq
-	c.rcvNxt = syn.Seq + 1
+	c.rcvNxt = packet.SeqAdd(syn.Seq, 1)
 	c.negotiate(&syn.Opts)
 	c.cwnd = c.cfg.InitialCwndSegs * c.mss
 	c.ssthresh = 1 << 30
@@ -275,7 +275,7 @@ func (c *Conn) sendSYN(withAck bool) {
 	p := packet.NewTCP(c.tuple, flags, c.iss, ack, nil)
 	p.Opts = c.synOptions()
 	p.Window = uint16(min(c.recvWindow(), 65535)) // never scaled on SYN
-	c.sndNxt = c.iss + 1
+	c.sndNxt = packet.SeqAdd(c.iss, 1)
 	c.Stats.SegsSent++
 	c.stack.Host.Send(p)
 }
@@ -414,10 +414,10 @@ func (c *Conn) handleRST(p *packet.Packet) {
 	// Minimal validation: RST must be in the receive window (or ack our SYN
 	// in SYN-SENT).
 	if c.state == StateSynSent {
-		if !p.Flags.Has(packet.FlagACK) || p.Ack != c.iss+1 {
+		if !p.Flags.Has(packet.FlagACK) || p.Ack != packet.SeqAdd(c.iss, 1) {
 			return
 		}
-	} else if !packet.SeqGEQ(p.Seq, c.rcvNxt) && p.Seq != c.rcvNxt-1 {
+	} else if !packet.SeqGEQ(p.Seq, c.rcvNxt) && p.Seq != packet.SeqAdd(c.rcvNxt, -1) {
 		return
 	}
 	c.destroy()
@@ -430,12 +430,12 @@ func (c *Conn) inputSynSent(p *packet.Packet) {
 	if !p.Flags.Has(packet.FlagSYN) || !p.Flags.Has(packet.FlagACK) {
 		return
 	}
-	if p.Ack != c.iss+1 {
+	if p.Ack != packet.SeqAdd(c.iss, 1) {
 		c.stack.sendRST(p)
 		return
 	}
 	c.irs = p.Seq
-	c.rcvNxt = p.Seq + 1
+	c.rcvNxt = packet.SeqAdd(p.Seq, 1)
 	c.negotiate(&p.Opts)
 	c.sndUna = p.Ack
 	c.peerWnd = int(p.Window) // SYN windows are unscaled
@@ -457,7 +457,7 @@ func (c *Conn) inputSynRcvd(p *packet.Packet) {
 		c.sendSYN(true)
 		return
 	}
-	if !p.Flags.Has(packet.FlagACK) || p.Ack != c.iss+1 {
+	if !p.Flags.Has(packet.FlagACK) || p.Ack != packet.SeqAdd(c.iss, 1) {
 		return
 	}
 	c.sndUna = p.Ack

@@ -241,7 +241,7 @@ func (c *Conn) sampleRTT(ack uint32, p *packet.Packet) {
 	have := false
 	if c.tsOK && p.Opts.TS != nil && p.Opts.TS.Ecr != 0 {
 		nowMS := c.stack.tsNow()
-		if d := int32(nowMS - p.Opts.TS.Ecr); d >= 0 {
+		if d := packet.SeqDiff(p.Opts.TS.Ecr, nowMS); d >= 0 {
 			rtt = sim.Time(d) * 1e6 // ms → Duration
 			have = true
 		}

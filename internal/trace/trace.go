@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"repro/internal/netsim"
@@ -164,6 +165,18 @@ func (c *Capture) Tuples() []packet.FiveTuple {
 		}
 	}
 	return out
+}
+
+// Hash returns a 64-bit FNV-1a digest of the rendered capture. Two runs
+// of the same scenario with the same seed must produce equal hashes —
+// the determinism regression tests compare exactly this.
+func (c *Capture) Hash() uint64 {
+	h := fnv.New64a()
+	for _, r := range c.recs {
+		h.Write([]byte(r.String()))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
 }
 
 // Dump renders the whole capture.
