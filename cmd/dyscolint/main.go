@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	dyscolint [-rules walltime,seqarith,...] [packages]
+//	dyscolint [-rules walltime,seqarith,...] [-json] [-fsm] [packages]
 //
 // The only package patterns supported are "./..." (the whole module, the
-// default) and directory paths relative to the module root.
+// default) and directory paths relative to the module root. -json switches
+// the report to a machine-readable array; -fsm prints the statically
+// extracted state machines instead of running the analyzers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,8 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated rule list (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	fsm := flag.Bool("fsm", false, "print the extracted state machines and exit")
 	flag.Parse()
 
 	if *list {
@@ -78,13 +83,47 @@ func main() {
 		}
 	}
 
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	if *fsm {
+		fsms, finds := lint.ExtractFSMs(pkgs, lint.DefaultFSMSpecs())
+		fmt.Print(lint.FormatFSMs(fsms))
+		for _, f := range finds {
+			fmt.Fprintln(os.Stderr, "dyscolint:", f.Msg)
 		}
-		fmt.Println(rel)
+		if len(finds) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for i, f := range findings {
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			findings[i].Pos.Filename = r
+		}
+	}
+	if *asJSON {
+		type jsonFinding struct {
+			Rule string `json:"rule"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Msg  string `json:"msg"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Rule: f.Rule, File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dyscolint: %d finding(s)\n", len(findings))

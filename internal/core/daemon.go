@@ -223,6 +223,9 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	if sess.Lock != Unlocked {
 		return fmt.Errorf("core: session %v segment is %v", sessID, sess.Lock)
 	}
+	// Transition directly under its guard so the static conformance check
+	// (lint/fsm.go) can see that only Unlocked reaches this acquisition.
+	sess.setLock(LockPending)
 	d.nextReqID++
 	rc := &Reconfig{
 		ID:        uint64(a.Host.Addr)<<24 | d.nextReqID,
@@ -241,7 +244,6 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	d.reconfigs[rc.ID] = rc
 	a.Stats.ReconfigsStarted++
 
-	sess.Lock = LockPending
 	sess.LockReqID = rc.ID
 	sess.Requestor = a.Host.Addr
 	req := &ctrlMsg{
@@ -345,21 +347,36 @@ func (d *daemon) abortReconfig(rc *Reconfig) {
 			LeftAnchor: d.a.Host.Addr, RightAnchor: rc.PeerAddr,
 		})
 	}
-	sess.Lock = Unlocked
-	d.finishReconfig(rc, false)
+	sess.setLock(Unlocked)
+	d.failReconfig(rc)
 }
 
-func (d *daemon) finishReconfig(rc *Reconfig, ok bool) {
+// completeReconfig finishes a successful attempt. Only an anchor in the
+// two-path phase can complete (the §3.5 drain conditions are checked by
+// the caller, finalizeAnchor).
+func (d *daemon) completeReconfig(rc *Reconfig) {
+	if rc.State != RcTwoPath {
+		return
+	}
+	rc.setState(RcDone)
+	d.a.Stats.ReconfigsDone++
+	d.closeReconfig(rc, true)
+}
+
+// failReconfig finishes a nacked/cancelled/timed-out attempt from any
+// non-final phase (§3.6).
+func (d *daemon) failReconfig(rc *Reconfig) {
 	if rc.State == RcDone || rc.State == RcFailed {
 		return
 	}
-	if ok {
-		rc.State = RcDone
-		d.a.Stats.ReconfigsDone++
-	} else {
-		rc.State = RcFailed
-		d.a.Stats.ReconfigsFailed++
-	}
+	rc.setState(RcFailed)
+	d.a.Stats.ReconfigsFailed++
+	d.closeReconfig(rc, false)
+}
+
+// closeReconfig is the common teardown after the attempt reached a final
+// state: stop timers, detach from the session, report, unblock waiters.
+func (d *daemon) closeReconfig(rc *Reconfig, ok bool) {
 	rc.rtxTimer.Stop()
 	rc.Sess.Reconfig = nil
 	took := d.eng.Now() - rc.started
@@ -490,7 +507,7 @@ func (d *daemon) onReqLock(m *ctrlMsg) {
 		sess.blocked = append(sess.blocked, m)
 		return
 	}
-	sess.Lock = LockPending
+	sess.setLock(LockPending)
 	sess.LockReqID = m.ReqID
 	sess.Requestor = m.LeftAnchor
 	d.forwardReqLock(sess, m)
@@ -570,10 +587,10 @@ func (d *daemon) onAckLock(m *ctrlMsg) {
 	}
 	// Left anchor?
 	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft {
-		if rc.State != RcLocking {
+		if rc.State != RcLocking || sess.Lock != LockPending {
 			return // duplicate
 		}
-		sess.Lock = Locked
+		sess.setLock(Locked)
 		rc.Delta = m.D.Left
 		rc.TSDelta = m.D.LeftTS
 		rc.WinFrom, rc.WinTo = m.D.LeftWinFrom, m.D.LeftWinTo
@@ -590,7 +607,7 @@ func (d *daemon) onAckLock(m *ctrlMsg) {
 		lockSess = sess.Splice
 	}
 	if lockSess.Lock == LockPending && lockSess.LockReqID == m.ReqID {
-		lockSess.Lock = Locked
+		lockSess.setLock(Locked)
 		d.nackBlocked(lockSess)
 	} else if !(lockSess.Lock == Locked && lockSess.LockReqID == m.ReqID) {
 		return // stale
@@ -633,9 +650,9 @@ func (d *daemon) onNackLock(m *ctrlMsg) {
 	if rc, ok := d.reconfigs[m.ReqID]; ok && rc.IsLeft {
 		// Our request lost the contention: exactly one of the contending
 		// left anchors wins (§3.2, verified property P1).
-		rc.Sess.Lock = Unlocked
+		rc.Sess.setLock(Unlocked)
 		rc.ackReceived()
-		d.finishReconfig(rc, false)
+		d.failReconfig(rc)
 		return
 	}
 	// Mid-path: reset our pending state and pass the nack leftward along
@@ -650,7 +667,7 @@ func (d *daemon) onNackLock(m *ctrlMsg) {
 		lockSess = sess.Splice
 	}
 	if lockSess.Lock == LockPending && lockSess.LockReqID == m.ReqID {
-		lockSess.Lock = Unlocked
+		lockSess.setLock(Unlocked)
 		d.processBlocked(lockSess)
 	}
 	if lockSess.LeftHost != 0 && m.LeftAnchor != d.a.Host.Addr {
@@ -668,13 +685,13 @@ func (d *daemon) onCancelLock(m *ctrlMsg) {
 	if m.RightAnchor == d.a.Host.Addr {
 		if rc, ok := d.reconfigs[m.ReqID]; ok {
 			d.teardownNewPathEntries(rc)
-			d.finishReconfig(rc, false)
+			d.failReconfig(rc)
 		}
 		d.send(m.from, &ctrlMsg{Type: msgAckCancel, ReqID: m.ReqID, Session: sess.IDLeft})
 		return
 	}
 	if sess.LockReqID == m.ReqID && sess.Lock != Unlocked {
-		sess.Lock = Unlocked
+		sess.setLock(Unlocked)
 		d.processBlocked(sess)
 	}
 	next := sess
@@ -694,7 +711,10 @@ func (d *daemon) onAckCancel(m *ctrlMsg) {
 
 func (d *daemon) beginNewPath(rc *Reconfig) {
 	a := d.a
-	rc.State = RcSettingUp
+	if rc.State != RcLocking {
+		return // attempt already failed or completed
+	}
+	rc.setState(RcSettingUp)
 	first := rc.NewList[0]
 	rc.newPeerHost = first
 	rc.newSub = a.newSubTuple(first)
@@ -830,11 +850,11 @@ func (d *daemon) onNewPathSYNACK(m *ctrlMsg) {
 		if rc.State != RcSettingUp {
 			return // duplicate
 		}
-		rc.ackReceived()
 		if rc.StateFrom != 0 {
 			// Replacement of a stateful middlebox: transfer state before
 			// using the new path (Figure 15).
-			rc.State = RcStateWait
+			rc.setState(RcStateWait)
+			rc.ackReceived()
 			d.sendReliable(rc, rc.StateFrom, &ctrlMsg{
 				Type: msgStateReq, ReqID: rc.ID, Session: rc.Sess.IDRight,
 				StateFrom: rc.StateFrom, StateTo: rc.StateTo,
@@ -842,6 +862,7 @@ func (d *daemon) onNewPathSYNACK(m *ctrlMsg) {
 			})
 			return
 		}
+		rc.ackReceived()
 		d.leftAnchorSwitch(rc)
 		return
 	}
@@ -868,11 +889,11 @@ func (d *daemon) onNewPathACK(m *ctrlMsg) {
 // activateSwitch enters the two-path phase (§3.5): freeze oldSent and
 // start steering new data onto the new path.
 func (d *daemon) activateSwitch(rc *Reconfig) {
-	if rc.switched || rc.State == RcDone || rc.State == RcFailed {
+	if rc.switched || (rc.State != RcSettingUp && rc.State != RcStateWait) {
 		return
 	}
 	rc.switched = true
-	rc.State = RcTwoPath
+	rc.setState(RcTwoPath)
 	rc.switchAt = d.eng.Now()
 	if rc.IsLeft && d.a.OnReconfigSwitch != nil {
 		d.a.OnReconfigSwitch(rc.Sess.IDLeft, rc.switchAt-rc.started)
@@ -1031,8 +1052,8 @@ func (d *daemon) finalizeAnchor(rc *Reconfig) {
 		sess.LeftHost = rc.newPeerHost
 		sess.SubLeft = rc.newSub
 	}
-	sess.Lock = Unlocked
-	d.finishReconfig(rc, true)
+	sess.setLock(Unlocked)
+	d.completeReconfig(rc)
 }
 
 // ---------- state transfer (Figure 15) ----------

@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// This file is the single home of the two per-session state machines the
+// reconfiguration protocol runs: the subsession lock machine (§3.2) and the
+// per-anchor reconfiguration machine (§3.1–§3.6). Every state change in the
+// package funnels through setLock / setState, and the legal steps are
+// enumerated by lockStep / reconfigStep.
+//
+// The step functions are deliberately written as flat switches over the
+// enum: `dyscolint`'s fsmconform analyzer evaluates them statically for
+// every (from, to) pair and checks the resulting relation is exactly the
+// transition relation exported by internal/model (the Spin-equivalent
+// checker of §3.7). A transition added here that the model does not verify
+// — or a model transition this file drops — is a build-gate finding, not a
+// code review comment. Runtime enforcement backs the static check: an
+// invalid step panics rather than silently corrupting protocol state.
+//
+// When core legitimately gains a transition, change model first (so the
+// new relation is re-verified by exhaustive exploration), then mirror it
+// here; see DESIGN.md §6.
+
+// lockStep reports whether the subsession lock machine may step from → to.
+// Self-steps (from == to) are handled by setLock and are not part of the
+// relation.
+func lockStep(from, to LockState) bool {
+	switch from {
+	case Unlocked:
+		// requestLock received or issued (§3.2).
+		return to == LockPending
+	case LockPending:
+		// ackLock grants; nackLock / cancelLock revert (§3.2, §3.6).
+		return to == Locked || to == Unlocked
+	case Locked:
+		// Old-path teardown or cancellation releases the subsession.
+		return to == Unlocked
+	}
+	return false
+}
+
+// setLock moves the lock machine for the subsession on this session's
+// right. A self-step is a no-op; an undeclared step is a protocol bug and
+// panics.
+func (s *Session) setLock(to LockState) {
+	if to != s.Lock && !lockStep(s.Lock, to) {
+		panic(fmt.Sprintf("core: invalid lock transition %v -> %v", s.Lock, to))
+	}
+	s.Lock = to
+}
+
+// reconfigStep reports whether the per-anchor reconfiguration machine may
+// step from → to. Anchors are born in RcLocking (left anchor, at
+// StartReconfig) or RcSettingUp (right anchor, on accepting the lock);
+// RcDone and RcFailed are absorbing.
+func reconfigStep(from, to ReconfigState) bool {
+	switch from {
+	case RcLocking:
+		// ackLock moves to setup; nackLock or retry exhaustion fails (§3.6).
+		return to == RcSettingUp || to == RcFailed
+	case RcSettingUp:
+		// newPathSYNACK either starts state transfer (Figure 15) or goes
+		// straight to two-path; cancellation/timeout fails.
+		return to == RcStateWait || to == RcTwoPath || to == RcFailed
+	case RcStateWait:
+		// stateReady (or the peer's oldPathFIN) enters two-path.
+		return to == RcTwoPath || to == RcFailed
+	case RcTwoPath:
+		// Old path drained on both sides completes; cancellation fails.
+		return to == RcDone || to == RcFailed
+	case RcDone, RcFailed:
+		return false
+	}
+	return false
+}
+
+// setState moves the reconfiguration machine of this anchor. A self-step
+// is a no-op; an undeclared step is a protocol bug and panics.
+func (rc *Reconfig) setState(to ReconfigState) {
+	if to != rc.State && !reconfigStep(rc.State, to) {
+		panic(fmt.Sprintf("core: invalid reconfig transition %v -> %v", rc.State, to))
+	}
+	rc.State = to
+}

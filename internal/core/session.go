@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -22,8 +24,10 @@ func (s LockState) String() string {
 		return "unlocked"
 	case LockPending:
 		return "lockPending"
-	default:
+	case Locked:
 		return "locked"
+	default:
+		return fmt.Sprintf("LockState(%d)", int(s))
 	}
 }
 
@@ -129,19 +133,38 @@ func (s *Session) IsRightEnd() bool { return s.RightHost == 0 }
 // ReconfigState tracks the phase of a reconfiguration at an anchor.
 type ReconfigState int
 
-// Reconfiguration phases at an anchor.
+// Reconfiguration phases at an anchor. An anchor is born directly into
+// RcLocking (left anchor) or RcSettingUp (right anchor, which accepts the
+// lock and skips the locking phase); there is no idle state — an idle
+// session simply has Sess.Reconfig == nil. The legal transitions are
+// declared in fsm.go (reconfigStep) and checked against internal/model by
+// dyscolint's fsmconform analyzer.
 const (
-	RcIdle      ReconfigState = iota
-	RcLocking                 // requestLock sent, waiting for ackLock
-	RcSettingUp               // new-path SYN sent, waiting for SYN-ACK
-	RcStateWait               // waiting for middlebox state transfer
-	RcTwoPath                 // both paths live (§3.5)
-	RcDone                    // finished successfully
-	RcFailed                  // nacked or cancelled
+	RcLocking   ReconfigState = iota // requestLock sent, waiting for ackLock
+	RcSettingUp                      // new-path SYN sent, waiting for SYN-ACK
+	RcStateWait                      // waiting for middlebox state transfer
+	RcTwoPath                        // both paths live (§3.5)
+	RcDone                           // finished successfully
+	RcFailed                         // nacked or cancelled
 )
 
 func (s ReconfigState) String() string {
-	return [...]string{"idle", "locking", "settingUp", "stateWait", "twoPath", "done", "failed"}[s]
+	switch s {
+	case RcLocking:
+		return "locking"
+	case RcSettingUp:
+		return "settingUp"
+	case RcStateWait:
+		return "stateWait"
+	case RcTwoPath:
+		return "twoPath"
+	case RcDone:
+		return "done"
+	case RcFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ReconfigState(%d)", int(s))
+	}
 }
 
 // Reconfig is the per-anchor state of one reconfiguration attempt.

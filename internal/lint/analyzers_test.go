@@ -428,6 +428,34 @@ func notSuppressed(c *tcp.Conn) {
 	wantFindings(t, got, "errdrop", "Conn.Send")
 }
 
+func TestUnusedIgnoreIsAFinding(t *testing.T) {
+	got := checkFixture(t, ErrdropAnalyzer, "fixture/internal/x", "ig.go", `
+package x
+
+import "repro/internal/tcp"
+
+func handled(c *tcp.Conn) error {
+	//lint:ignore errdrop stale: the error is propagated now
+	return c.Send(nil)
+}
+`)
+	wantFindings(t, got, "lint", "unused //lint:ignore")
+}
+
+func TestUnusedIgnoreOutsideRunSetIsNotReported(t *testing.T) {
+	// The directive's rule is not part of this run, so whether it still
+	// suppresses anything is unknowable here: stay silent.
+	got := checkFixture(t, ErrdropAnalyzer, "fixture/internal/x", "ig.go", `
+package x
+
+import "time"
+
+//lint:ignore walltime fixture exercising a rule outside the run set
+func f() time.Time { return time.Now() }
+`)
+	wantFindings(t, got, "errdrop")
+}
+
 func TestMalformedIgnoreIsAFinding(t *testing.T) {
 	got := checkFixture(t, WalltimeAnalyzer, "fixture/internal/x", "ig.go", `
 package x
@@ -441,7 +469,8 @@ func missingReason() {}
 // ---------- framework ----------
 
 func TestAllAnalyzersPresent(t *testing.T) {
-	want := []string{"walltime", "seqarith", "mapiter", "locksafe", "errdrop"}
+	want := []string{"walltime", "seqarith", "mapiter", "locksafe", "errdrop",
+		"statexhaust", "lockorder", "rewritetaint", "fsmconform"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))

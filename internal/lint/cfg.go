@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intraprocedural control-flow graphs over go/ast,
+// stdlib-only. The CFG is deliberately statement-grained: each Block holds
+// the statements (and branch condition expressions) executed straight-line,
+// and each Edge records how control left the block — unconditionally, via
+// the true/false arm of a condition, or via a switch case — so dataflow
+// clients can refine facts along edges (branch sensitivity) without the
+// CFG having to understand any particular analysis.
+
+// EdgeKind classifies how control flows along an Edge.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgePlain is an unconditional transfer.
+	EdgePlain EdgeKind = iota
+	// EdgeTrue/EdgeFalse leave a condition (if/for) with the given truth.
+	EdgeTrue
+	EdgeFalse
+	// EdgeCase enters a switch case clause: Tag == one of Cases (for a
+	// tagless switch, one of Cases is true).
+	EdgeCase
+	// EdgeDefault enters the default clause (or falls past a switch with
+	// no default): Tag matches none of Cases.
+	EdgeDefault
+)
+
+// Edge is one control-flow successor.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+	// Cond is the branch condition for EdgeTrue/EdgeFalse.
+	Cond ast.Expr
+	// Tag is the switch tag expression for EdgeCase/EdgeDefault; nil for a
+	// tagless switch.
+	Tag ast.Expr
+	// Cases holds the matched case values for EdgeCase, and every
+	// *excluded* case value for EdgeDefault.
+	Cases []ast.Expr
+}
+
+// Block is a straight-line sequence of AST nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the synthetic sink reached by returns, panics, and falling
+	// off the end of the body.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the CFG of a function body. A nil body (declaration
+// without definition) yields a trivial entry→exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	b.goTo(b.cfg.Exit)
+	return b.cfg
+}
+
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select contexts
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil while the current point is unreachable
+	// loops is the break/continue context stack (loops, switches, selects).
+	loops []loopCtx
+	// fallthroughs maps depth to the next case body for fallthrough.
+	fallthroughs []*Block
+	labels       map[string]*Block
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// ensure gives unreachable code (after return/break/…) an orphan block so
+// construction can continue; dataflow never reaches it.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.ensure().Nodes = append(b.cur.Nodes, n) }
+
+// goTo ends the current block with an unconditional edge and marks the
+// point unreachable.
+func (b *cfgBuilder) goTo(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, Edge{To: to, Kind: EdgePlain})
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findBreak returns the break target for an optional label.
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if label == "" || b.loops[i].label == label {
+			return b.loops[i].breakTo
+		}
+	}
+	return b.cfg.Exit
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].continueTo == nil {
+			continue // switch/select: continue passes through
+		}
+		if label == "" || b.loops[i].label == label {
+			return b.loops[i].continueTo
+		}
+	}
+	return b.cfg.Exit
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// isPanicCall reports calls that terminate control flow.
+func isPanicCall(c *ast.CallExpr) bool {
+	id, ok := c.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.ensure()
+		after := b.newBlock()
+		thenB := b.newBlock()
+		cond.Succs = append(cond.Succs, Edge{To: thenB, Kind: EdgeTrue, Cond: s.Cond})
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			cond.Succs = append(cond.Succs, Edge{To: elseB, Kind: EdgeFalse, Cond: s.Cond})
+		} else {
+			cond.Succs = append(cond.Succs, Edge{To: after, Kind: EdgeFalse, Cond: s.Cond})
+		}
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.goTo(after)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.goTo(after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.goTo(head)
+		b.cur = head
+		after := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs,
+				Edge{To: body, Kind: EdgeTrue, Cond: s.Cond},
+				Edge{To: after, Kind: EdgeFalse, Cond: s.Cond})
+		} else {
+			head.Succs = append(head.Succs, Edge{To: body, Kind: EdgePlain})
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: contTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.goTo(contTo)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.goTo(head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s)
+		head := b.newBlock()
+		b.goTo(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		head.Succs = append(head.Succs,
+			Edge{To: body, Kind: EdgePlain},
+			Edge{To: after, Kind: EdgePlain})
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.goTo(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt) {
+			return cc.List, cc.Body
+		}, s.Tag)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.typeSwitchClauses(label, s.Body)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			body := b.newBlock()
+			head.Succs = append(head.Succs, Edge{To: body, Kind: EdgePlain})
+			b.cur = body
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			for _, st := range comm.Body {
+				b.stmt(st)
+			}
+			b.goTo(after)
+		}
+		if len(s.Body.List) == 0 {
+			head.Succs = append(head.Succs, Edge{To: after, Kind: EdgePlain})
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.goTo(b.cfg.Exit)
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.add(s)
+			b.goTo(b.findBreak(label))
+		case token.CONTINUE:
+			b.add(s)
+			b.goTo(b.findContinue(label))
+		case token.GOTO:
+			b.add(s)
+			b.goTo(b.labelBlock(label))
+		case token.FALLTHROUGH:
+			to := b.cfg.Exit
+			if n := len(b.fallthroughs); n > 0 && b.fallthroughs[n-1] != nil {
+				to = b.fallthroughs[n-1]
+			}
+			b.goTo(to)
+		}
+	case *ast.LabeledStmt:
+		head := b.labelBlock(s.Label.Name)
+		b.goTo(head)
+		b.cur = head
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.add(s.X)
+		if c, ok := s.X.(*ast.CallExpr); ok && isPanicCall(c) {
+			b.goTo(b.cfg.Exit)
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, …: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause blocks for a value switch, recording
+// case values on the edges so clients can refine facts.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt, split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt), tag ast.Expr) {
+	head := b.ensure()
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+
+	var allVals []ast.Expr
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		vals, _ := split(cc)
+		allVals = append(allVals, vals...)
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		vals, stmts := split(cc)
+		if vals == nil {
+			hasDefault = true
+			head.Succs = append(head.Succs, Edge{To: bodies[i], Kind: EdgeDefault, Tag: tag, Cases: allVals})
+		} else {
+			head.Succs = append(head.Succs, Edge{To: bodies[i], Kind: EdgeCase, Tag: tag, Cases: vals})
+		}
+		var next *Block
+		if i+1 < len(bodies) {
+			next = bodies[i+1]
+		}
+		b.fallthroughs = append(b.fallthroughs, next)
+		b.cur = bodies[i]
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		b.goTo(after)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: after, Kind: EdgeDefault, Tag: tag, Cases: allVals})
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// typeSwitchClauses builds clause blocks for a type switch; edges are
+// plain (type refinement is not modeled).
+func (b *cfgBuilder) typeSwitchClauses(label string, body *ast.BlockStmt) {
+	head := b.ensure()
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, Edge{To: blk, Kind: EdgePlain})
+		b.cur = blk
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.goTo(after)
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: after, Kind: EdgePlain})
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}

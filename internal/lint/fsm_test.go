@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// TestExtractFSMGolden pins the statically recovered transition relations
+// of the real internal/core machines. A diff here means a transition was
+// added or removed without the conformance story being revisited:
+// regenerate with `go test ./internal/lint -run Golden -update` only after
+// the model has been extended first (DESIGN §6).
+func TestExtractFSMGolden(t *testing.T) {
+	pkgs, err := getLoader(t).LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	fsms, finds := ExtractFSMs(pkgs, DefaultFSMSpecs())
+	if len(finds) != 0 {
+		t.Fatalf("extraction findings: %v", finds)
+	}
+	got := FormatFSMs(fsms)
+	golden := filepath.Join("testdata", "fsm_core.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("extracted FSMs diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// The conformance fixture is a miniature internal/core: same lock machine,
+// same funnel discipline, checked against the real model tables. Each
+// mutation test below seeds one defect class and requires a fsmconform
+// finding with a usable file:line.
+
+const fsmFixtureBase = `
+package core
+
+import "fmt"
+
+type LockState uint8
+
+const (
+	Unlocked LockState = iota
+	LockPending
+	Locked
+)
+
+type Session struct {
+	Lock LockState
+}
+
+func lockStep(from, to LockState) bool {
+	switch from {
+	case Unlocked:
+		return to == LockPending
+	case LockPending:
+		return to == Locked || to == Unlocked
+	case Locked:
+		return to == Unlocked
+	}
+	return false
+}
+
+func (s *Session) setLock(to LockState) {
+	if to != s.Lock && !lockStep(s.Lock, to) {
+		panic(fmt.Sprintf("invalid lock transition %d -> %d", s.Lock, to))
+	}
+	s.Lock = to
+}
+
+func request(s *Session) {
+	if s.Lock != Unlocked {
+		return
+	}
+	s.setLock(LockPending)
+}
+
+func grant(s *Session, ok bool) {
+	if s.Lock != LockPending {
+		return
+	}
+	if ok {
+		s.setLock(Locked)
+	} else {
+		s.setLock(Unlocked)
+	}
+}
+
+func newSession() *Session {
+	return &Session{Lock: Unlocked}
+}
+`
+
+func fixtureLockSpec() FSMSpec {
+	return FSMSpec{
+		Machine: "lock", PkgSuffix: "fixture/core", EnumType: "LockState",
+		StepFunc: "lockStep", SetFunc: "setLock", StructType: "Session", Field: "Lock",
+	}
+}
+
+func fixtureConformance(t *testing.T, src string) []Finding {
+	t.Helper()
+	pkg, err := getLoader(t).CheckSource("repro/fixture/core", map[string]string{"fsmfix.go": src})
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	return CheckFSMConformance([]*Package{pkg}, []FSMSpec{fixtureLockSpec()}, model.Tables())
+}
+
+// mutate applies one replacement and fails the test if the pattern did not
+// match — a silently unmodified fixture proves nothing.
+func mutate(t *testing.T, src, old, new string) string {
+	t.Helper()
+	out := strings.Replace(src, old, new, 1)
+	if out == src {
+		t.Fatalf("mutation pattern %q not found in fixture", old)
+	}
+	return out
+}
+
+// wantConformFinding requires at least one fsmconform finding mentioning
+// substr, positioned in the fixture file with a real line number.
+func wantConformFinding(t *testing.T, got []Finding, substr string) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatalf("no findings; want one mentioning %q", substr)
+	}
+	for _, f := range got {
+		if f.Rule != "fsmconform" {
+			t.Errorf("finding rule %q, want fsmconform: %v", f.Rule, f)
+		}
+	}
+	for _, f := range got {
+		if strings.Contains(f.Msg, substr) {
+			if f.Pos.Filename != "fsmfix.go" || f.Pos.Line <= 0 {
+				t.Errorf("finding lacks a usable fixture position: %v", f)
+			}
+			return
+		}
+	}
+	t.Fatalf("no finding mentions %q:\n%v", substr, got)
+}
+
+func TestConformanceFixtureBaseIsClean(t *testing.T) {
+	if got := fixtureConformance(t, fsmFixtureBase); len(got) != 0 {
+		t.Fatalf("conforming fixture produced findings:\n%v", got)
+	}
+}
+
+func TestConformanceFlagsAddedTransition(t *testing.T) {
+	src := mutate(t, fsmFixtureBase,
+		"return to == Unlocked",
+		"return to == Unlocked || to == LockPending")
+	wantConformFinding(t, fixtureConformance(t, src), "which the model does not declare")
+}
+
+func TestConformanceFlagsRemovedTransition(t *testing.T) {
+	src := mutate(t, fsmFixtureBase,
+		"return to == Locked || to == Unlocked",
+		"return to == Locked")
+	wantConformFinding(t, fixtureConformance(t, src), "rejects it")
+}
+
+func TestConformanceFlagsMisguardedSetterCall(t *testing.T) {
+	src := mutate(t, fsmFixtureBase,
+		"if s.Lock != Unlocked {\n\t\treturn\n\t}\n\t", "")
+	wantConformFinding(t, fixtureConformance(t, src), "the model has no such transition")
+}
+
+func TestConformanceFlagsRawFieldWrite(t *testing.T) {
+	src := fsmFixtureBase + `
+func smash(s *Session) {
+	s.Lock = Locked
+}
+`
+	wantConformFinding(t, fixtureConformance(t, src), "bypasses the transition funnel")
+}
+
+func TestConformanceFlagsNonInitialBirth(t *testing.T) {
+	src := mutate(t, fsmFixtureBase,
+		"&Session{Lock: Unlocked}",
+		"&Session{Lock: Locked}")
+	wantConformFinding(t, fixtureConformance(t, src), "not a model-initial state")
+}
+
+func TestConformanceFlagsExtraState(t *testing.T) {
+	src := mutate(t, fsmFixtureBase,
+		"\tLocked\n)",
+		"\tLocked\n\tFrozen\n)")
+	wantConformFinding(t, fixtureConformance(t, src), "not in the model table")
+}
+
+func TestConformanceFlagsNonConstantTarget(t *testing.T) {
+	src := fsmFixtureBase + `
+func jam(s *Session, to LockState) {
+	s.setLock(to)
+}
+`
+	wantConformFinding(t, fixtureConformance(t, src), "non-constant target")
+}
+
+func TestExtractFSMFixture(t *testing.T) {
+	pkg, err := getLoader(t).CheckSource("repro/fixture/core", map[string]string{"fsmfix.go": fsmFixtureBase})
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	fsm, err := ExtractFSM([]*Package{pkg}, fixtureLockSpec())
+	if err != nil {
+		t.Fatalf("ExtractFSM: %v", err)
+	}
+	want := "machine lock\n" +
+		"states: Unlocked, LockPending, Locked\n" +
+		"  Unlocked -> LockPending\n" +
+		"  LockPending -> Unlocked\n" +
+		"  LockPending -> Locked\n" +
+		"  Locked -> Unlocked\n"
+	if got := FormatFSMs([]*ExtractedFSM{fsm}); got != want {
+		t.Errorf("extracted relation:\n%s\nwant:\n%s", got, want)
+	}
+	for _, e := range fsm.Edges {
+		if !e.Definite {
+			t.Errorf("edge %s -> %s not decided definitely", e.From, e.To)
+		}
+	}
+}

@@ -75,6 +75,12 @@ func pathHasSuffix(pkgPath, suffix string) bool {
 	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
 }
 
+// inModulePath reports whether pkgPath is the module itself or one of its
+// packages.
+func inModulePath(pkgPath, mod string) bool {
+	return pkgPath == mod || strings.HasPrefix(pkgPath, mod+"/")
+}
+
 // position returns the file position of a node in the package's fileset.
 func position(pkg *Package, n ast.Node) token.Position {
 	return pkg.Fset.Position(n.Pos())

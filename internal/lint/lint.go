@@ -33,7 +33,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// Analyzer is one named rule run over a package.
+// Analyzer is one named rule. Per-package rules implement Run; rules that
+// need a whole-module view (cross-package call graphs, conformance against
+// another package's model) implement RunModule instead. Exactly one of the
+// two should be set.
 type Analyzer struct {
 	// Name is the rule ID used in reports and //lint:ignore comments.
 	Name string
@@ -41,6 +44,8 @@ type Analyzer struct {
 	Doc string
 	// Run reports violations in pkg. Suppression is applied by the caller.
 	Run func(pkg *Package) []Finding
+	// RunModule reports violations across all loaded packages at once.
+	RunModule func(pkgs []*Package) []Finding
 }
 
 // All returns every analyzer in the suite, in stable order.
@@ -51,6 +56,10 @@ func All() []*Analyzer {
 		MapiterAnalyzer,
 		LocksafeAnalyzer,
 		ErrdropAnalyzer,
+		StatexhaustAnalyzer,
+		LockorderAnalyzer,
+		RewritetaintAnalyzer,
+		FsmconformAnalyzer,
 	}
 }
 
@@ -116,31 +125,73 @@ func parseIgnores(pkg *Package, f *ast.File) []*ignoreDirective {
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppression, and returns surviving findings sorted by position. A
 // malformed directive (no rule, or no reason) is reported as a finding of
-// rule "lint".
+// rule "lint", and so is a directive that suppressed nothing — a stale
+// suppression hides the next real finding on its line, so it must go as
+// soon as the code it excused is gone. Unused reporting only fires when
+// every rule the directive names is part of this run; a `-rules` subset
+// cannot know whether the other rules still need it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
+	var ignores []*ignoreDirective
 	for _, pkg := range pkgs {
-		var ignores []*ignoreDirective
 		for _, f := range pkg.Files {
 			ignores = append(ignores, parseIgnores(pkg, f)...)
 		}
-		for _, d := range ignores {
-			if len(d.rules) == 0 || d.reason == "" {
-				all = append(all, Finding{
-					Rule: "lint",
-					Pos:  d.pos,
-					Msg:  "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
-				})
-			}
+	}
+	for _, d := range ignores {
+		if len(d.rules) == 0 || d.reason == "" {
+			all = append(all, Finding{
+				Rule: "lint",
+				Pos:  d.pos,
+				Msg:  "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+			})
 		}
-		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if suppressed(f, ignores) {
-					continue
+	}
+	used := make(map[*ignoreDirective]bool)
+	keep := func(f Finding) {
+		if d := suppressor(f, ignores); d != nil {
+			used[d] = true
+			return
+		}
+		all = append(all, f)
+	}
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				for _, f := range a.Run(pkg) {
+					keep(f)
 				}
-				all = append(all, f)
 			}
 		}
+		if a.RunModule != nil {
+			for _, f := range a.RunModule(pkgs) {
+				keep(f)
+			}
+		}
+	}
+	ruleSet := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ruleSet[a.Name] = true
+	}
+	for _, d := range ignores {
+		if used[d] || len(d.rules) == 0 || d.reason == "" {
+			continue
+		}
+		var names []string
+		known := true
+		for r := range d.rules {
+			known = known && ruleSet[r]
+			names = append(names, r)
+		}
+		if !known {
+			continue
+		}
+		sort.Strings(names)
+		all = append(all, Finding{
+			Rule: "lint",
+			Pos:  d.pos,
+			Msg:  fmt.Sprintf("unused //lint:ignore %s: the directive suppresses nothing; remove it", strings.Join(names, ",")),
+		})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Pos.Filename != all[j].Pos.Filename {
@@ -154,7 +205,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return all
 }
 
-func suppressed(f Finding, ignores []*ignoreDirective) bool {
+// suppressor returns the directive that suppresses f, or nil.
+func suppressor(f Finding, ignores []*ignoreDirective) *ignoreDirective {
 	for _, d := range ignores {
 		if d.reason == "" || len(d.rules) == 0 {
 			continue
@@ -163,8 +215,8 @@ func suppressed(f Finding, ignores []*ignoreDirective) bool {
 			continue
 		}
 		if f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1 {
-			return true
+			return d
 		}
 	}
-	return false
+	return nil
 }

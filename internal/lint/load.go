@@ -18,6 +18,9 @@ import (
 type Package struct {
 	// PkgPath is the import path (e.g. "repro/internal/tcp").
 	PkgPath string
+	// ModulePath is the module the package belongs to (e.g. "repro");
+	// analyzers use it to tell module-local types from dependencies.
+	ModulePath string
 	// Dir is the absolute directory the package was loaded from.
 	Dir string
 	// Fset maps AST nodes to positions (shared across the whole load).
@@ -206,12 +209,13 @@ func (l *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error)
 		return nil, fmt.Errorf("lint: type errors in %s: %v", pkgPath, errs[0])
 	}
 	return &Package{
-		PkgPath: pkgPath,
-		Dir:     dir,
-		Fset:    l.Fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		PkgPath:    pkgPath,
+		ModulePath: l.ModulePath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
 	}, nil
 }
 

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockorderAnalyzer builds the module-wide lock-acquisition graph and
+// rejects cycles. A node is a lock *class* — a mutex-typed struct field
+// (pkg.Type.field) or package-level variable (pkg.var) — so two goroutines
+// locking different Session instances still count as the same class. An
+// edge A→B is recorded whenever B is acquired at a point where A may be
+// held, either directly or because a call made with A held transitively
+// acquires B somewhere down the (static) call graph. Any cycle in that
+// graph is an interleaving away from deadlock, which in this codebase
+// means a reconfiguration that never completes and a session locked
+// forever (the model checker's P2/P4 both assume lock handoffs terminate).
+//
+// The held-set is a may-analysis on the CFG (union at joins), so a lock
+// released on only one path is still "held" afterward — conservative in
+// the direction that finds cycles. Calls through function values and
+// interfaces are not followed; a deliberate hand-over-hand order within
+// one class needs an ignore directive with the justification written out.
+var LockorderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock classes must be acquired in one global order: no cycles in the module-wide acquisition graph",
+	RunModule: runLockorder,
+}
+
+// lockClassOf classifies a call as acquire/release of a lock class. The
+// receiver expression must be of type sync.Mutex or sync.RWMutex; RLock
+// and Lock map to the same class (an RLock-vs-Lock cycle still deadlocks).
+func lockClassOf(pkg *Package, funcName string, call *ast.CallExpr) (key string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); !ok || !namedIs(n, "sync", "Mutex") && !namedIs(n, "sync", "RWMutex") {
+		return "", false, false
+	}
+	base := ast.Unparen(sel.X)
+	switch e := base.(type) {
+	case *ast.SelectorExpr:
+		// Field access x.mu: class is the owning named type plus field.
+		if s, ok := pkg.Info.Selections[e]; ok {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if n, ok := recv.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + e.Sel.Name, acquire, release
+			}
+		}
+		// Package-qualified variable otherpkg.Mu.
+		if o, ok := pkg.Info.Uses[e.Sel]; ok && o.Pkg() != nil {
+			return o.Pkg().Path() + "." + o.Name(), acquire, release
+		}
+	case *ast.Ident:
+		if o, ok := pkg.Info.Uses[e]; ok && o.Pkg() != nil {
+			if o.Parent() == o.Pkg().Scope() {
+				return o.Pkg().Path() + "." + o.Name(), acquire, release
+			}
+			// A function-local mutex is its own class, scoped to the
+			// function so unrelated locals don't collide.
+			return pkg.PkgPath + "." + funcName + "#" + o.Name(), acquire, release
+		}
+	}
+	return "", false, false
+}
+
+// heldFact is the set of lock classes that may be held; nil is the empty
+// set (function entry).
+type heldFact map[string]bool
+
+// heldLattice tracks may-held lock classes through a function body.
+// DeferStmt is skipped entirely: a deferred unlock runs at return, not
+// where it is written, and treating it as immediate would hide edges.
+type heldLattice struct {
+	pkg      *Package
+	funcName string
+}
+
+func (l *heldLattice) Entry() heldFact { return nil }
+
+// lockCalls walks the lock-relevant calls of a node in source order,
+// skipping function literals (their bodies are analyzed separately) and
+// deferred calls.
+func (l *heldLattice) lockCalls(n ast.Node, visit func(call *ast.CallExpr, key string, acquire bool)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if key, acq, rel := lockClassOf(l.pkg, l.funcName, m); key != "" && (acq || rel) {
+				visit(m, key, acq)
+			}
+		}
+		return true
+	})
+}
+
+func (l *heldLattice) Transfer(n ast.Node, f heldFact) heldFact {
+	l.lockCalls(n, func(_ *ast.CallExpr, key string, acquire bool) {
+		g := make(heldFact, len(f)+1)
+		for k := range f {
+			g[k] = true
+		}
+		if acquire {
+			g[key] = true
+		} else {
+			delete(g, key)
+		}
+		f = g
+	})
+	return f
+}
+
+func (l *heldLattice) Refine(e Edge, f heldFact) (heldFact, bool) { return f, true }
+
+func (l *heldLattice) Join(a, b heldFact) heldFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	j := make(heldFact, len(a)+len(b))
+	for k := range a {
+		j[k] = true
+	}
+	for k := range b {
+		j[k] = true
+	}
+	return j
+}
+
+func (l *heldLattice) Equal(a, b heldFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockFuncKey names a function across packages by path, receiver, and
+// name. String identity deliberately: the loader type-checks each package
+// in its own full pass, so *types.Func pointers for the same function
+// differ between the defining package's load and an importer's load.
+func lockFuncKey(fn *types.Func) string {
+	if r := recvNamed(fn); r != nil {
+		return funcPkgPath(fn) + "." + r.Obj().Name() + "." + fn.Name()
+	}
+	return funcPkgPath(fn) + "." + fn.Name()
+}
+
+// lockScan is the per-function summary feeding the module fixpoint.
+type lockScan struct {
+	direct map[string]bool // lock classes acquired in the body itself
+	// calls are static calls to module functions with the may-held set at
+	// the call site; the callee's transitive acquires become edges.
+	calls []lockCall
+	// acquires are direct acquisitions with the may-held set before them.
+	acquires []lockAcq
+}
+
+type lockCall struct {
+	held   []string
+	callee string
+	pos    token.Position
+}
+
+type lockAcq struct {
+	held []string
+	key  string
+	pos  token.Position
+}
+
+func sortedHeld(f heldFact) []string {
+	if len(f) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(f))
+	for k := range f {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runLockorder(pkgs []*Package) []Finding {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	mod := pkgs[0].ModulePath
+	inModule := func(path string) bool { return inModulePath(path, mod) }
+
+	// Pass 1: scan every function body into a summary.
+	scans := map[string]*lockScan{}
+	var order []string // deterministic fixpoint and reporting order
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := lockFuncKey(fn)
+				sc := scanLockFunc(pkg, fd, inModule)
+				if sc != nil {
+					scans[key] = sc
+					order = append(order, key)
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+
+	// Pass 2: transitive acquire sets to fixpoint over the call graph.
+	trans := make(map[string]map[string]bool, len(scans))
+	for key, sc := range scans {
+		t := make(map[string]bool, len(sc.direct))
+		for k := range sc.direct {
+			t[k] = true
+		}
+		trans[key] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			t := trans[key]
+			for _, c := range scans[key].calls {
+				for k := range trans[c.callee] {
+					if !t[k] {
+						t[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges. held × direct-acquire and held × callee-transitive.
+	type lockEdge struct{ from, to string }
+	edges := map[lockEdge]token.Position{}
+	addEdge := func(from, to string, pos token.Position) {
+		e := lockEdge{from, to}
+		if old, ok := edges[e]; !ok || posLess(pos, old) {
+			edges[e] = pos
+		}
+	}
+	for _, key := range order {
+		sc := scans[key]
+		for _, a := range sc.acquires {
+			for _, h := range a.held {
+				addEdge(h, a.key, a.pos)
+			}
+		}
+		for _, c := range sc.calls {
+			for _, h := range c.held {
+				for k := range trans[c.callee] {
+					addEdge(h, k, c.pos)
+				}
+			}
+		}
+	}
+
+	// Pass 4: cycle detection. Any cycle contains at least one edge with
+	// from < to, so reporting only those finds every cycle exactly once
+	// per participating ascending edge — deterministic and non-redundant.
+	adj := map[string][]string{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	var keys []lockEdge
+	for e := range edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	var out []Finding
+	for _, e := range keys {
+		if e.from == e.to {
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  edges[e],
+				Msg: fmt.Sprintf("lock class %s acquired while an instance of it may already be held: self-deadlock unless instances are ordered (justify with //lint:ignore)",
+					e.from),
+			})
+			continue
+		}
+		if e.from < e.to && lockReaches(adj, e.to, e.from) {
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  edges[e],
+				Msg: fmt.Sprintf("lock order cycle: %s is acquired while holding %s here, but %s is also acquired (possibly through calls) while holding %s",
+					e.to, e.from, e.from, e.to),
+			})
+		}
+	}
+	return out
+}
+
+// scanLockFunc summarizes one function body; nil when the body neither
+// touches locks nor calls module functions (keeps the fixpoint small).
+func scanLockFunc(pkg *Package, fd *ast.FuncDecl, inModule func(string) bool) *lockScan {
+	sc := &lockScan{direct: map[string]bool{}}
+	lat := &heldLattice{pkg: pkg, funcName: fd.Name.Name}
+	g := BuildCFG(fd.Body)
+	ForwardVisit[heldFact](g, lat, func(n ast.Node, before heldFact) {
+		// Replay the node's lock calls and module calls in source order,
+		// threading the held set through intra-node acquisitions.
+		f := before
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, acq, rel := lockClassOf(pkg, fd.Name.Name, m); key != "" && (acq || rel) {
+					if acq {
+						sc.direct[key] = true
+						sc.acquires = append(sc.acquires, lockAcq{held: sortedHeld(f), key: key, pos: position(pkg, m)})
+					}
+					f = lat.Transfer(&ast.ExprStmt{X: m}, f)
+					return false
+				}
+				if fn := calleeFunc(pkg, m); fn != nil && inModule(funcPkgPath(fn)) {
+					sc.calls = append(sc.calls, lockCall{held: sortedHeld(f), callee: lockFuncKey(fn), pos: position(pkg, m)})
+				}
+			}
+			return true
+		})
+	})
+	if len(sc.direct) == 0 && len(sc.calls) == 0 {
+		return nil
+	}
+	return sc
+}
+
+// lockReaches reports whether to is reachable from fromStart in adj.
+func lockReaches(adj map[string][]string, fromStart, to string) bool {
+	seen := map[string]bool{fromStart: true}
+	stack := []string{fromStart}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		for _, s := range adj[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

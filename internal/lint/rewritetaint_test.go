@@ -1,0 +1,110 @@
+package lint
+
+import "testing"
+
+// The rewritetaint fixtures define their own module-local Host and Packet
+// types ("repro/fixture/dp"): the analyzer recognizes roots, sinks, and
+// sanitizers by module-local type name plus method name, so a single
+// fixture package exercises the whole interprocedural pipeline.
+
+const dpPrelude = `
+package dp
+
+type Packet struct {
+	Seq uint32
+}
+
+func (p *Packet) RewriteTuple() {}
+
+type Host struct{}
+
+func (h *Host) Send(p *Packet)                  {}
+func (h *Host) DeliverLocal(p *Packet)          {}
+func (h *Host) AddIngressHook(fn func(*Packet)) {}
+`
+
+func TestRewritetaintFlagsUntranslatedSendFromHookLiteral(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func install(h *Host) {
+	h.AddIngressHook(func(p *Packet) {
+		h.Send(p) // finding: still in the neighbor's coordinate space
+	})
+}
+`)
+	wantFindings(t, got, "rewritetaint", "untranslated packet reaches Host.Send")
+}
+
+func TestRewritetaintPassesRewriteBeforeSend(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func install(h *Host) {
+	h.AddIngressHook(func(p *Packet) {
+		p.RewriteTuple()
+		h.Send(p) // translated: fine
+	})
+}
+`)
+	wantFindings(t, got, "rewritetaint")
+}
+
+func TestRewritetaintFollowsHookBoundToVariable(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func install(h *Host) {
+	hook := func(p *Packet) {
+		h.DeliverLocal(p) // finding: local stack trusts session coordinates
+	}
+	h.AddIngressHook(hook)
+}
+`)
+	wantFindings(t, got, "rewritetaint", "untranslated packet reaches Host.DeliverLocal")
+}
+
+func TestRewritetaintPropagatesThroughHelperCall(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func ingressHook(h *Host, p *Packet) {
+	forward(h, p)
+}
+
+func forward(h *Host, p *Packet) {
+	h.Send(p) // finding: taint entered through the parameter
+}
+`)
+	wantFindings(t, got, "rewritetaint", "untranslated packet reaches Host.Send")
+}
+
+func TestRewritetaintPassesApplyIngressSanitizer(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func applyIngress(p *Packet) {
+	p.RewriteTuple()
+}
+
+func ingressHook(h *Host, p *Packet) {
+	applyIngress(p)
+	h.Send(p) // translated by the delta applier: fine
+}
+`)
+	wantFindings(t, got, "rewritetaint")
+}
+
+func TestRewritetaintMayAnalysisFlagsBranchOnlySanitize(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func ingressHook(h *Host, p *Packet, fast bool) {
+	if fast {
+		p.RewriteTuple()
+	}
+	h.Send(p) // finding: untranslated on the slow path
+}
+`)
+	wantFindings(t, got, "rewritetaint", "untranslated packet reaches Host.Send")
+}
+
+func TestRewritetaintAssignmentMovesTaint(t *testing.T) {
+	got := checkFixture(t, RewritetaintAnalyzer, "repro/fixture/dp", "dp.go", dpPrelude+`
+func ingressHook(h *Host, p *Packet) {
+	q := p
+	p = nil
+	_ = p
+	h.Send(q) // finding: the taint followed the assignment
+}
+`)
+	wantFindings(t, got, "rewritetaint", "untranslated packet reaches Host.Send")
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatexhaustAnalyzer requires switches over module-local enum types
+// (defined integer types with ≥2 package-level constants) to either cover
+// every constant or carry a default that fails loudly. A quiet default —
+// one that silently maps unexpected states to some behavior, like the
+// early LockState.String returning "locked" for everything unknown — is
+// exactly how a state machine grows undeclared transitions without anyone
+// noticing, so it is a finding even when today's constants are all
+// covered elsewhere.
+var StatexhaustAnalyzer = &Analyzer{
+	Name: "statexhaust",
+	Doc:  "switches over state/enum types must be exhaustive or fail loudly in default",
+	Run:  runStatexhaust,
+}
+
+// enumConst is one constant of an enum, in declaration order.
+type enumConst struct {
+	name string
+	val  string // exact constant value, the coverage key
+}
+
+// moduleEnum resolves t to a module-local enum: a defined integer type
+// with at least two same-typed package-level constants in its defining
+// package. Returns nil when t is not one.
+func moduleEnum(pkg *Package, t types.Type) (*types.Named, []enumConst) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil, nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, nil
+	}
+	defPkg := named.Obj().Pkg().Path()
+	if defPkg != pkg.ModulePath && !strings.HasPrefix(defPkg, pkg.ModulePath+"/") {
+		return nil, nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	var consts []enumConst
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, enumConst{name: name, val: c.Val().ExactString()})
+	}
+	if len(consts) < 2 {
+		return nil, nil
+	}
+	return named, consts
+}
+
+// loudDefault reports whether the default clause fails loudly: it panics,
+// calls a *Fatal*/*Panic* function, or formats a message that mentions
+// the switch tag (the fmt.Sprintf("State(%d)", s) idiom).
+func loudDefault(pkg *Package, body []ast.Stmt, tag ast.Expr) bool {
+	var tagIdents []string
+	leafIdents(tag, &tagIdents)
+	mentionsTag := func(e ast.Expr) bool {
+		var ids []string
+		leafIdents(e, &ids)
+		for _, id := range ids {
+			for _, t := range tagIdents {
+				if id == t {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	loud := false
+	for _, st := range body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || loud {
+				return !loud
+			}
+			if isPanicCall(call) {
+				loud = true
+				return false
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			if strings.Contains(name, "Fatal") || strings.Contains(name, "Panic") || name == "Exit" {
+				loud = true
+				return false
+			}
+			// A formatter is loud only if the unexpected value reaches the
+			// message — fmt.Sprintf("x(%d)", v) names the stranger,
+			// fmt.Sprintf("unknown") hides it.
+			if funcPkgPath(fn) == "fmt" && (strings.Contains(name, "rint") || name == "Errorf") {
+				for _, arg := range call.Args {
+					if mentionsTag(arg) {
+						loud = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}
+
+func runStatexhaust(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			// Map tag expressions to their switches, staying inside this
+			// function (nested literals get their own CFG pass).
+			switches := map[ast.Expr]*ast.SwitchStmt{}
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if sw, ok := n.(*ast.SwitchStmt); ok && sw.Tag != nil {
+					switches[sw.Tag] = sw
+				}
+				return true
+			})
+			if len(switches) == 0 {
+				return
+			}
+			// Dataflow pass: at each switch head, the enum lattice knows
+			// which constants the tag can still hold — states excluded by
+			// earlier guards (`if s == X { return }`) are not "missing".
+			g := BuildCFG(body)
+			lat := &enumLattice{pkg: pkg}
+			ForwardVisit[enumFact](g, lat, func(n ast.Node, before enumFact) {
+				tag, ok := n.(ast.Expr)
+				if !ok {
+					return
+				}
+				sw := switches[tag]
+				if sw == nil {
+					return
+				}
+				out = append(out, checkSwitch(pkg, lat, sw, before)...)
+			})
+		})
+	}
+	return out
+}
+
+// checkSwitch reports a non-exhaustive or quiet-defaulted enum switch,
+// given the dataflow fact holding at its head.
+func checkSwitch(pkg *Package, lat *enumLattice, sw *ast.SwitchStmt, fact enumFact) []Finding {
+	tv, ok := pkg.Info.Types[sw.Tag]
+	if !ok {
+		return nil
+	}
+	enum, consts := moduleEnum(pkg, tv.Type)
+	if enum == nil {
+		return nil
+	}
+	// Possible values of the tag here, ⊤ unless the dataflow narrowed it.
+	var possible constSet
+	if key, _, _, ok := lat.enumExprKey(ast.Unparen(sw.Tag)); ok {
+		if e, known := lookup(fact, key); known {
+			possible = e.vals
+		}
+	}
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pkg.Info.Types[e]
+			if !ok || etv.Value == nil {
+				return nil // non-constant case: not statically checkable
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, c := range consts {
+		if covered[c.val] || seen[c.val] {
+			continue
+		}
+		if possible != nil && !possible[c.val] {
+			continue // dataflow proved this state cannot reach the switch
+		}
+		seen[c.val] = true
+		missing = append(missing, c.name)
+	}
+	if len(missing) == 0 {
+		return nil // exhaustive over the reachable states
+	}
+	sort.Strings(missing)
+	typeName := enum.Obj().Name()
+	if defaultClause == nil {
+		return []Finding{{
+			Rule: "statexhaust",
+			Pos:  position(pkg, sw),
+			Msg: fmt.Sprintf("switch over %s does not cover %s and has no default; add the missing cases or a default that fails loudly",
+				typeName, strings.Join(missing, ", ")),
+		}}
+	}
+	if !loudDefault(pkg, defaultClause.Body, sw.Tag) {
+		return []Finding{{
+			Rule: "statexhaust",
+			Pos:  position(pkg, defaultClause),
+			Msg: fmt.Sprintf("switch over %s does not cover %s and its default is quiet; unexpected states must fail loudly (panic or format the value into the message)",
+				typeName, strings.Join(missing, ", ")),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package lint
+
+import "testing"
+
+// The statexhaust fixtures live under the module path ("repro/fixture/…")
+// because moduleEnum only treats module-local defined integer types as
+// enums; a fixture outside the module would be invisible to the rule.
+
+func TestStatexhaustFlagsMissingCaseWithoutDefault(t *testing.T) {
+	got := checkFixture(t, StatexhaustAnalyzer, "repro/fixture/sx", "sx.go", `
+package sx
+
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func name(m Mode) string {
+	switch m { // finding: ModeC uncovered, no default
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	}
+	return ""
+}
+`)
+	wantFindings(t, got, "statexhaust", "ModeC")
+}
+
+func TestStatexhaustFlagsQuietDefault(t *testing.T) {
+	got := checkFixture(t, StatexhaustAnalyzer, "repro/fixture/sx", "sx.go", `
+package sx
+
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func name(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	default:
+		return "unknown" // finding: swallows ModeC silently
+	}
+}
+`)
+	wantFindings(t, got, "statexhaust", "default is quiet")
+}
+
+func TestStatexhaustPassesExhaustiveAndLoudDefault(t *testing.T) {
+	got := checkFixture(t, StatexhaustAnalyzer, "repro/fixture/sx", "sx.go", `
+package sx
+
+import "fmt"
+
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func exhaustive(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	case ModeC:
+		return "c"
+	}
+	return ""
+}
+
+func loud(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	default:
+		return fmt.Sprintf("Mode(%d)", m) // names the stranger: loud
+	}
+}
+
+func panics(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	default:
+		panic("unreachable")
+	}
+}
+`)
+	wantFindings(t, got, "statexhaust")
+}
+
+func TestStatexhaustDataflowPrunesGuardedStates(t *testing.T) {
+	got := checkFixture(t, StatexhaustAnalyzer, "repro/fixture/sx", "sx.go", `
+package sx
+
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// The early return proves ModeC cannot reach the switch, so covering only
+// ModeA and ModeB is exhaustive over the reachable states.
+func guarded(m Mode) string {
+	if m == ModeC {
+		return "c"
+	}
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	}
+	return ""
+}
+
+// A compound guard: the fall-through of the disjunction still narrows m.
+func compound(m Mode, skip bool) string {
+	if skip || (m != ModeA && m != ModeB) {
+		return ""
+	}
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	}
+	return ""
+}
+`)
+	wantFindings(t, got, "statexhaust")
+}
+
+func TestStatexhaustDataflowStopsAtCalls(t *testing.T) {
+	got := checkFixture(t, StatexhaustAnalyzer, "repro/fixture/sx", "sx.go", `
+package sx
+
+func touch(m *Mode) {}
+
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// The call may write through the pointer, so the guard's narrowing is
+// dead by the time the switch runs: ModeC is missing again.
+func clobbered(m Mode) string {
+	if m == ModeC {
+		return "c"
+	}
+	touch(&m)
+	switch m { // finding: ModeC uncovered
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	}
+	return ""
+}
+`)
+	wantFindings(t, got, "statexhaust", "ModeC")
+}

@@ -69,9 +69,20 @@ type LockConfig struct {
 	WinnerCancels bool
 }
 
+// lockRecorder, when attached, observes every per-subsession lock
+// transition as it is taken (not the net effect of a whole handler — a
+// handler like onAck under WinnerCancels moves lockPending→locked→unlocked
+// in one delivery, and both micro-steps are protocol transitions). It is
+// shared across clones so one exploration accumulates into one recorder;
+// see transitions.go.
+type lockRecorder struct {
+	edges map[[2]int8]bool
+}
+
 // lockState is one global state of the lock model.
 type lockState struct {
 	cfg *LockConfig
+	rec *lockRecorder // optional transition recorder, shared across clones
 	// lock[i]/holder[i] describe subsession i (between agents i and i+1).
 	lock    []int8
 	holder  []int8
@@ -79,6 +90,16 @@ type lockState struct {
 	outcome []int8
 	// queues[e]: FIFO channel; e = 2*i is agent i → i+1, 2*i+1 is i+1 → i.
 	queues [][]lmsg
+}
+
+// setLock is the single funnel for lock-state changes, mirroring
+// core.(*Session).setLock; it feeds the recorder that derives the exported
+// transition table.
+func (s *lockState) setLock(at int, to int8) {
+	if s.rec != nil && s.lock[at] != to {
+		s.rec.edges[[2]int8{s.lock[at], to}] = true
+	}
+	s.lock[at] = to
 }
 
 // NewLockState builds the initial state for a configuration.
@@ -102,7 +123,7 @@ func NewLockState(cfg *LockConfig) State {
 }
 
 func (s *lockState) clone() *lockState {
-	c := &lockState{cfg: s.cfg}
+	c := &lockState{cfg: s.cfg, rec: s.rec}
 	c.lock = append([]int8(nil), s.lock...)
 	c.holder = append([]int8(nil), s.holder...)
 	c.outcome = append([]int8(nil), s.outcome...)
@@ -160,7 +181,7 @@ func (s *lockState) startRequest(r int) State {
 		c.outcome[r] = lost
 		return c
 	}
-	c.lock[seg.Left] = lockPending
+	c.setLock(seg.Left, lockPending)
 	c.holder[seg.Left] = int8(r)
 	c.outcome[r] = pending
 	c.sendRight(seg.Left, lmsg{msgReq, int8(r)})
@@ -174,7 +195,7 @@ func (s *lockState) releaseRequest(r int) State {
 	seg := c.cfg.Requests[r]
 	c.outcome[r] = released
 	if c.holder[seg.Left] == int8(r) {
-		c.lock[seg.Left] = unlocked
+		c.setLock(seg.Left, unlocked)
 		c.holder[seg.Left] = -1
 		c.processBlocked(seg.Left)
 	}
@@ -221,7 +242,7 @@ func (c *lockState) onReq(at int, r int8, seg Segment) {
 	}
 	switch c.lock[at] {
 	case unlocked:
-		c.lock[at] = lockPending
+		c.setLock(at, lockPending)
 		c.holder[at] = r
 		c.sendRight(at, lmsg{msgReq, r})
 	default:
@@ -233,12 +254,12 @@ func (c *lockState) onReq(at int, r int8, seg Segment) {
 func (c *lockState) onAck(at int, r int8, seg Segment) {
 	if at == seg.Left {
 		c.outcome[r] = won
-		c.lock[at] = locked
+		c.setLock(at, locked)
 		c.nackBlocked(at)
 		if c.cfg.WinnerCancels {
 			// §3.6: the new path failed; release the segment.
 			c.outcome[r] = cancelled
-			c.lock[at] = unlocked
+			c.setLock(at, unlocked)
 			c.holder[at] = -1
 			c.processBlocked(at)
 			c.sendRight(at, lmsg{msgCancel, r})
@@ -246,7 +267,7 @@ func (c *lockState) onAck(at int, r int8, seg Segment) {
 		return
 	}
 	if c.lock[at] == lockPending && c.holder[at] == r {
-		c.lock[at] = locked
+		c.setLock(at, locked)
 		c.nackBlocked(at)
 	}
 	c.sendLeft(at, lmsg{msgAck, r})
@@ -256,14 +277,14 @@ func (c *lockState) onNack(at int, r int8, seg Segment) {
 	if at == seg.Left {
 		c.outcome[r] = lost
 		if c.lock[at] == lockPending && c.holder[at] == r {
-			c.lock[at] = unlocked
+			c.setLock(at, unlocked)
 			c.holder[at] = -1
 			c.processBlocked(at)
 		}
 		return
 	}
 	if c.lock[at] == lockPending && c.holder[at] == r {
-		c.lock[at] = unlocked
+		c.setLock(at, unlocked)
 		c.holder[at] = -1
 		c.processBlocked(at)
 	}
@@ -276,7 +297,7 @@ func (c *lockState) onCancel(at int, r int8, seg Segment) {
 		return
 	}
 	if c.holder[at] == r && c.lock[at] != unlocked {
-		c.lock[at] = unlocked
+		c.setLock(at, unlocked)
 		c.holder[at] = -1
 		c.processBlocked(at)
 	}
@@ -288,7 +309,7 @@ func (c *lockState) onRelease(at int, r int8, seg Segment) {
 		return // the release ends at the right anchor
 	}
 	if c.holder[at] == r && c.lock[at] == locked {
-		c.lock[at] = unlocked
+		c.setLock(at, unlocked)
 		c.holder[at] = -1
 		c.processBlocked(at)
 	}

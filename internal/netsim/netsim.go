@@ -299,6 +299,8 @@ func runHooks(hooks []Hook, p *packet.Packet, dir Direction) Verdict {
 			return Drop
 		case Consume:
 			return Consume
+		case Pass:
+			// Next hook decides.
 		}
 	}
 	return Pass
@@ -313,6 +315,7 @@ func (h *Host) Send(p *packet.Packet) {
 		return
 	case Consume:
 		return
+	case Pass:
 	}
 	h.transmit(p, h.Cost.SendPacket)
 }
@@ -447,6 +450,7 @@ func (h *Host) process(p *packet.Packet) {
 		return
 	case Consume:
 		return
+	case Pass:
 	}
 	if h.Net.Trace != nil {
 		h.Net.Trace(h, p, Ingress)
@@ -474,6 +478,7 @@ func (h *Host) process(p *packet.Packet) {
 		return
 	case Consume:
 		return
+	case Pass:
 	}
 	h.transmit(p, h.Cost.ForwardPacket)
 }

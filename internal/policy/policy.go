@@ -112,9 +112,11 @@ func (p *Pool) Pick() (packet.Addr, error) {
 				chosen = in
 			}
 		}
-	default:
+	case RoundRobin:
 		chosen = p.Instances[p.next%len(p.Instances)]
 		p.next++
+	default:
+		panic(fmt.Sprintf("policy: unknown select mode %d", p.Mode))
 	}
 	p.load[chosen]++
 	return chosen, nil

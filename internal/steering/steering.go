@@ -49,6 +49,7 @@ func NewSwitch(h *netsim.Host) *Switch {
 			return netsim.Drop
 		}
 		p.TTL--
+		//lint:ignore rewritetaint rule-based steering forwards the original header untouched by design — the resulting breakage under five-tuple-modifying middleboxes is the baseline this package exists to measure (§1)
 		h.SendVia(next, p)
 		return netsim.Consume
 	})

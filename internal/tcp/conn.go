@@ -289,6 +289,8 @@ func (c *Conn) Send(data []byte) error {
 	switch c.state {
 	case StateClosed, StateLastAck, StateClosing, StateTimeWait, StateFinWait1, StateFinWait2:
 		return fmt.Errorf("tcp: Send in state %v", c.state)
+	case StateSynSent, StateSynRcvd, StateEstablished, StateCloseWait:
+		// Sending side still open: queue below (data drains once established).
 	}
 	c.sndBuf = append(c.sndBuf, data...)
 	if c.state == StateEstablished || c.state == StateCloseWait {
@@ -311,6 +313,8 @@ func (c *Conn) Close() {
 		c.destroy()
 	case StateEstablished, StateCloseWait, StateSynRcvd:
 		c.trySend()
+	case StateClosed, StateFinWait1, StateFinWait2, StateClosing, StateLastAck, StateTimeWait:
+		// Close already in progress (or done): the first Close owns the FIN.
 	}
 }
 
@@ -361,8 +365,9 @@ func (c *Conn) input(p *packet.Packet) {
 		return
 	case StateClosed:
 		return
+	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait, StateClosing, StateLastAck, StateTimeWait:
+		// Established or later: common path below.
 	}
-	// Established or later.
 	if c.tsOK && p.Opts.TS != nil && !c.pawsOK(p) {
 		c.Stats.PAWSDrops++
 		return
@@ -506,6 +511,8 @@ func (c *Conn) postInput() {
 		if ourFINAcked {
 			c.fullClose()
 		}
+	case StateSynSent, StateSynRcvd, StateEstablished, StateCloseWait, StateTimeWait:
+		// No close-side transition pending in these states.
 	}
 	c.trySend()
 }

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -68,8 +70,11 @@ func (c *Conn) sendAck() {
 func (c *Conn) trySend() {
 	switch c.state {
 	case StateEstablished, StateCloseWait, StateFinWait1, StateLastAck, StateClosing:
-	default:
+		// States with an open or draining send side.
+	case StateClosed, StateSynSent, StateSynRcvd, StateFinWait2, StateTimeWait:
 		return
+	default:
+		panic(fmt.Sprintf("tcp: trySend in unknown state %v", c.state))
 	}
 	sent := false
 	for {
@@ -376,6 +381,8 @@ func (c *Conn) onRetransmitTimeout() {
 		return
 	case StateClosed, StateTimeWait:
 		return
+	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait, StateClosing, StateLastAck:
+		// Data/FIN retransmission below.
 	}
 	if c.flight() == 0 {
 		return
