@@ -4,10 +4,14 @@
 //	dyscobench -exp fig8            # one experiment
 //	dyscobench -exp all             # everything, paper order
 //	dyscobench -exp fig12 -full     # paper-scale parameters
+//	dyscobench -short               # CI observability micro-benchmark
 //	dyscobench -list                # experiment ids
 //
 // Output is plain text: one table and/or series block per experiment,
-// with PASS/FAIL checks of the paper's qualitative claims.
+// with PASS/FAIL checks of the paper's qualitative claims. -short runs
+// only the fast instrumented benchmark and, with -obsout, writes its
+// metrics summary (rewrite latency, reconfiguration durations, event
+// counts) as JSON — CI archives that file as BENCH_obs.json.
 package main
 
 import (
@@ -21,10 +25,12 @@ import (
 
 func main() {
 	var (
-		id   = flag.String("exp", "all", "experiment id (see -list)")
-		full = flag.Bool("full", false, "run paper-scale parameters (slow)")
-		seed = flag.Int64("seed", 42, "simulation seed")
-		list = flag.Bool("list", false, "list experiment ids")
+		id     = flag.String("exp", "all", "experiment id (see -list)")
+		full   = flag.Bool("full", false, "run paper-scale parameters (slow)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids")
+		short  = flag.Bool("short", false, "run only the observability micro-benchmark (fast, CI-friendly)")
+		obsout = flag.String("obsout", "", "with -short: write the metrics summary JSON to this file")
 	)
 	flag.Parse()
 
@@ -33,6 +39,9 @@ func main() {
 			fmt.Println(e)
 		}
 		return
+	}
+	if *short {
+		os.Exit(runShort(*seed, *obsout))
 	}
 	sc := exp.QuickScale()
 	if *full {
@@ -61,4 +70,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) with failed checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runShort executes the observability micro-benchmark and optionally
+// persists its metrics snapshot, returning the process exit code.
+func runShort(seed int64, obsout string) int {
+	start := time.Now()
+	r, hub := exp.ObsBench(seed)
+	fmt.Print(r.String())
+	fmt.Printf("(obsbench in %.1fs wall)\n", time.Since(start).Seconds())
+	if obsout != "" && hub != nil {
+		f, err := os.Create(obsout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dyscobench:", err)
+			return 1
+		}
+		err = hub.Snapshot().WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dyscobench:", err)
+			return 1
+		}
+		fmt.Printf("metrics summary written to %s\n", obsout)
+	}
+	if !r.Passed() {
+		fmt.Fprintln(os.Stderr, "obsbench checks failed")
+		return 1
+	}
+	return 0
 }

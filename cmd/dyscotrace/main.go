@@ -1,0 +1,148 @@
+// Command dyscotrace is the reconfiguration timeline inspector: it
+// replays one of the repository's example scenarios with the
+// observability layer attached and renders what happened — per-session
+// event timelines, per-reconfiguration span trees (lock →
+// state-transfer → switchover → drain across every participating host),
+// per-subsession traffic totals, and the metrics registry.
+//
+//	dyscotrace -scenario proxyremoval          # the headline use case
+//	dyscotrace -scenario statemigration        # firewall replacement, Figure 15
+//	dyscotrace -scenario chain -seed 9         # middlebox replacement in a chain
+//	dyscotrace -scenario proxyremoval -json    # machine-readable JSON lines
+//	dyscotrace -list                           # scenario ids
+//
+// Everything is deterministic: the same scenario and seed produce
+// byte-identical output (the JSON form is compared verbatim in tests).
+// Per-packet rewrite events are disabled by default to keep the log
+// readable; -rewrites stores them too (counters are exact either way).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "proxyremoval", "scenario id (see -list)")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+		jsonOut  = flag.Bool("json", false, "emit JSON lines: events, then span summaries, then one metrics object")
+		rewrites = flag.Bool("rewrites", false, "store per-packet rewrite/retransmit events in the log")
+		list     = flag.Bool("list", false, "list scenario ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios() {
+			fmt.Println(s)
+		}
+		return
+	}
+	env, err := runScenario(*scenario, *seed, *rewrites)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyscotrace:", err)
+		os.Exit(1)
+	}
+	hub := env.Hub()
+	events := hub.Events()
+	spans := obs.BuildSpans(events)
+
+	if *jsonOut {
+		if err := writeJSON(hub, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "dyscotrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario %s seed %d\n", *scenario, *seed)
+	fmt.Printf("hosts: %s\n", strings.Join(hub.Hosts(), " "))
+	if hub.Truncated() {
+		fmt.Println("warning: event storage truncated; counters remain exact")
+	}
+
+	fmt.Println("\n== session timelines ==")
+	fmt.Print(obs.FormatTimeline(events))
+
+	fmt.Println("\n== reconfiguration spans ==")
+	if len(spans) == 0 {
+		fmt.Println("(none)")
+	}
+	for _, sp := range spans {
+		fmt.Print(sp.FormatTree())
+	}
+
+	fmt.Println("\n== per-subsession traffic ==")
+	for _, host := range hub.Hosts() {
+		node := env.Node(host)
+		if node == nil || node.Agent == nil {
+			continue
+		}
+		var lines []string
+		node.Agent.EachSubsession(func(dir string, from, to packet.FiveTuple, pkts, bytes uint64) {
+			lines = append(lines, fmt.Sprintf("  %-7s %v -> %v pkts=%d bytes=%d", dir, from, to, pkts, bytes))
+		})
+		if len(lines) == 0 {
+			continue
+		}
+		fmt.Printf("host %s:\n%s\n", host, strings.Join(lines, "\n"))
+	}
+
+	fmt.Println("\n== metrics ==")
+	fmt.Print(hub.Snapshot().Dump())
+}
+
+// writeJSON emits the machine-readable form: the merged event log and the
+// span summaries as JSON lines, then the metrics registry (with per-kind
+// event counts folded in) as one indented object.
+func writeJSON(hub *obs.Hub, spans []*obs.Span) error {
+	out := os.Stdout
+	if err := hub.WriteJSON(out); err != nil {
+		return err
+	}
+	if err := obs.WriteSpansJSON(out, spans); err != nil {
+		return err
+	}
+	return hub.Snapshot().WriteJSON(out)
+}
+
+// scenarios returns the scenario ids.
+func scenarios() []string { return []string{"proxyremoval", "chain", "statemigration"} }
+
+// runScenario builds and runs the named scenario with observability on,
+// returning the environment (hub attached).
+func runScenario(name string, seed int64, rewrites bool) (*lab.Env, error) {
+	switch name {
+	case "proxyremoval":
+		return runProxyRemoval(seed, rewrites)
+	case "chain":
+		return runChain(seed, rewrites)
+	case "statemigration":
+		return runStateMigration(seed, rewrites)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (have %v)", name, scenarios())
+	}
+}
+
+// maskPerPacket disables storage of the per-packet kinds on every
+// current recorder (counters and histograms still accumulate).
+func maskPerPacket(hub *obs.Hub) {
+	for _, host := range hub.Hosts() {
+		hub.Recorder(host).Disable(obs.KRewrite, obs.KRetransmit, obs.KRTO)
+	}
+}
+
+// checkDelivered verifies the scenario's transfer completed: an
+// inspector that silently renders a broken run would be worse than none.
+func checkDelivered(received, total int) error {
+	if received != total {
+		return fmt.Errorf("scenario delivered %d of %d bytes; the run is broken, not just unobserved", received, total)
+	}
+	return nil
+}

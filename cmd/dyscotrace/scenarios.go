@@ -1,0 +1,136 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// runProxyRemoval replays examples/proxyremoval: a TCP-terminating L7
+// proxy relays the client's session, splices itself out after 64 KB, and
+// leaves the path while a 4 MB transfer continues — the headline Dysco
+// use case (§1, §5.3). Three hosts participate in the reconfiguration:
+// the client (left anchor), the proxy being deleted, and the server
+// (right anchor).
+func runProxyRemoval(seed int64, rewrites bool) (*lab.Env, error) {
+	link := netsim.LinkConfig{Delay: 200 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	proxyHost := env.AddNode("proxy", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, proxyHost)
+	if !rewrites {
+		maskPerPacket(env.Hub())
+	}
+
+	proxy := mbox.NewProxy(proxyHost.Stack, proxyHost.Agent, 80,
+		func(c *tcp.Conn) (packet.Addr, packet.Port) { return c.Tuple().SrcIP, 80 })
+	proxy.AutoSpliceAfter = 64 << 10
+
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	const total = 4 << 20
+	var sendErr error
+	conn.OnEstablished = func() { sendErr = conn.Send(make([]byte, total)) }
+	env.RunFor(20 * time.Second)
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	return env, checkDelivered(received, total)
+}
+
+// runChain replays the determinism-regression scenario: a chain through
+// one monitor middlebox, then a reconfiguration that replaces it with a
+// second monitor host mid-transfer.
+func runChain(seed int64, rewrites bool) (*lab.Env, error) {
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	mb1 := env.AddNode("mb1", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	mb2 := env.AddNode("mb2", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, mb1)
+	if !rewrites {
+		maskPerPacket(env.Hub())
+	}
+
+	const total = 128 << 10
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	var sendErr error
+	conn.OnEstablished = func() { sendErr = conn.Send(make([]byte, total)) }
+	env.RunFor(50 * time.Millisecond)
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if err := client.Agent.StartReconfig(conn.Tuple(), core.ReconfigOptions{
+		RightAnchor:    server.Addr(),
+		NewMiddleboxes: []packet.Addr{mb2.Addr()},
+		OnDone:         func(bool, sim.Time) {},
+	}); err != nil {
+		return nil, err
+	}
+	env.RunFor(10 * time.Second)
+	return env, checkDelivered(received, total)
+}
+
+// runStateMigration replays examples/statemigration: a stateful firewall
+// is replaced by a second instance mid-session with its conntrack entry
+// exported, shipped, and imported before the path switches (§5.3,
+// Figure 15) — the state-transfer phase of the span is the long one.
+func runStateMigration(seed int64, rewrites bool) (*lab.Env, error) {
+	link := netsim.LinkConfig{Delay: 200 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	fw1App := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	fw2App := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	fw1 := env.AddNode("firewall1", lab.HostOptions{Link: link, App: fw1App})
+	fw2 := env.AddNode("firewall2", lab.HostOptions{Link: link, App: fw2App})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, fw1)
+	if !rewrites {
+		maskPerPacket(env.Hub())
+	}
+
+	const total = 1 << 20
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	var sendErr error
+	conn.OnEstablished = func() { sendErr = conn.Send(make([]byte, total)) }
+	env.RunFor(500 * time.Millisecond)
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if err := client.Agent.StartReconfig(conn.Tuple(), core.ReconfigOptions{
+		RightAnchor:    server.Addr(),
+		NewMiddleboxes: []packet.Addr{fw2.Addr()},
+		StateFrom:      fw1.Addr(),
+		StateTo:        fw2.Addr(),
+		OnDone:         func(bool, sim.Time) {},
+	}); err != nil {
+		return nil, err
+	}
+	env.RunFor(10 * time.Second)
+	return env, checkDelivered(received, total)
+}

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // DaemonPort is the UDP port every Dysco daemon listens on.
@@ -148,6 +150,10 @@ type rewriteEntry struct {
 	anchorTrack bool
 	// newPath marks new-path entries during two-path operation.
 	newPath bool
+	// pkts/bytes count traffic rewritten through this entry, reported as
+	// the per-subsession totals of the observability metrics registry.
+	pkts  uint64
+	bytes uint64
 }
 
 // Agent is the per-host Dysco agent: the data-plane interceptor (kernel
@@ -179,7 +185,33 @@ type Agent struct {
 	nextTag  uint32
 	tagged   map[uint32]*Session
 	daemon   *daemon
+
+	// obs is the per-host event recorder (nil = observability off; every
+	// emission is then a no-op and the hot path allocates nothing).
+	obs *obs.Recorder
+	// mRewriteLat/mReconfigDur are resolved once at SetRecorder time so
+	// the data path observes through a pointer instead of a map lookup.
+	mRewriteLat  *stats.Histogram
+	mReconfigDur *stats.Histogram
 }
+
+// SetRecorder attaches an event recorder (and its hub's metrics registry)
+// to this agent. Existing sessions are back-filled so their transitions
+// emit too; pass nil to detach. Safe to call at any time.
+func (a *Agent) SetRecorder(r *obs.Recorder) {
+	a.obs = r
+	if r != nil {
+		a.mRewriteLat = r.Metrics().Histogram(obs.MRewriteLatency, obs.RewriteLatencyBounds()...)
+		a.mReconfigDur = r.Metrics().Histogram(obs.MReconfigDuration, obs.ReconfigDurationBounds()...)
+	} else {
+		a.mRewriteLat = nil
+		a.mReconfigDur = nil
+	}
+	a.EachSession(func(sess *Session) { sess.obs = r })
+}
+
+// Recorder returns the attached event recorder (nil when detached).
+func (a *Agent) Recorder() *obs.Recorder { return a.obs }
 
 // NewAgent attaches a Dysco agent to a host. The agent registers ingress
 // and egress hooks and binds the daemon's UDP port.
@@ -362,9 +394,11 @@ func (a *Agent) egressSYN(p *packet.Packet) netsim.Verdict {
 		Remainder:    append(append([]packet.Addr(nil), chain...), p.Tuple.DstIP),
 		wsOfferLocal: wsOffer(p),
 		lastActive:   a.eng.Now(),
+		obs:          a.obs,
 	}
 	a.sessions[sess.IDLeft] = sess
 	a.Stats.SessionsOpened++
+	a.obs.Emit(obs.Event{Kind: obs.KSessionOpen, Sess: sess.IDLeft, Detail: "policy"})
 	a.continueChain(p, sess)
 	return netsim.Pass
 }
@@ -433,6 +467,11 @@ func (a *Agent) applyEgress(p *packet.Packet, e *rewriteEntry) {
 	}
 	p.RewriteTuple(e.to)
 	a.Stats.PacketsRewritten++
+	e.pkts++
+	e.bytes += uint64(p.DataLen())
+	if a.obs != nil {
+		a.obs.Emit(obs.Event{Kind: obs.KRewrite, Sess: e.sessID(), Dir: "egress", Bytes: p.DataLen()})
+	}
 	a.chargeRewrite()
 }
 
@@ -449,12 +488,27 @@ func (a *Agent) applyIngress(p *packet.Packet, e *rewriteEntry) {
 	p.RewriteTuple(e.to)
 	a.track(p, e, true)
 	a.Stats.PacketsRewritten++
+	e.pkts++
+	e.bytes += uint64(p.DataLen())
+	if a.obs != nil {
+		a.obs.Emit(obs.Event{Kind: obs.KRewrite, Sess: e.sessID(), Dir: "ingress", Bytes: p.DataLen()})
+	}
 	a.chargeRewrite()
+}
+
+// sessID is the session identity an entry's events are tagged with.
+func (e *rewriteEntry) sessID() packet.FiveTuple {
+	if e.sess != nil {
+		return e.sess.IDLeft
+	}
+	return packet.FiveTuple{}
 }
 
 func (a *Agent) chargeRewrite() {
 	if a.Cfg.RewriteCost > 0 {
-		a.Host.CPU.Acquire(a.Cfg.RewriteCost)
+		done := a.Host.CPU.Acquire(a.Cfg.RewriteCost)
+		// Rewrite latency includes CPU queueing: completion minus arrival.
+		a.mRewriteLat.Observe(float64(done - a.eng.Now()))
 	}
 }
 
@@ -638,9 +692,11 @@ func (a *Agent) ingressChainSYN(p *packet.Packet) (netsim.Verdict, bool) {
 		SubLeft:    p.Tuple,
 		Remainder:  sp.List[1:],
 		lastActive: a.eng.Now(),
+		obs:        a.obs,
 	}
 	a.sessions[sess.IDLeft] = sess
 	a.Stats.SessionsOpened++
+	a.obs.Emit(obs.Event{Kind: obs.KSessionOpen, Sess: sess.IDLeft, Detail: "chain-syn"})
 	final := len(sess.Remainder) == 0
 	// Ingress: left subsession → session header.
 	a.ingress[p.Tuple] = &rewriteEntry{
@@ -738,6 +794,27 @@ func (a *Agent) removeSession(sess *Session) {
 	delete(a.sessions, sess.IDLeft)
 	delete(a.sessions, sess.IDRight)
 	a.Stats.SessionsCollected++
+	a.obs.Emit(obs.Event{Kind: obs.KSessionClose, Sess: sess.IDLeft})
+}
+
+// EachSubsession visits the installed rewrite entries in deterministic
+// (direction, key five-tuple) order with their per-subsession traffic
+// totals, for the observability reports.
+func (a *Agent) EachSubsession(fn func(dir string, from, to packet.FiveTuple, pkts, bytes uint64)) {
+	for _, side := range []struct {
+		dir string
+		m   map[packet.FiveTuple]*rewriteEntry
+	}{{"egress", a.egress}, {"ingress", a.ingress}} {
+		keys := make([]packet.FiveTuple, 0, len(side.m))
+		for k := range side.m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for _, k := range keys {
+			e := side.m[k]
+			fn(side.dir, k, e.to, e.pkts, e.bytes)
+		}
+	}
 }
 
 // CollectIdle removes sessions idle longer than the configured timeout and

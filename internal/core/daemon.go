@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -109,6 +110,10 @@ func (d *daemon) send(to packet.Addr, m *ctrlMsg) {
 	if err != nil {
 		panic("core: control message marshal: " + err.Error())
 	}
+	d.a.obs.Emit(obs.Event{
+		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,
+		Detail: m.Type.String(), Dir: "send", Peer: to,
+	})
 	p := packet.NewUDP(packet.FiveTuple{
 		SrcIP: d.a.Host.Addr, DstIP: to,
 		SrcPort: DaemonPort, DstPort: DaemonPort,
@@ -123,6 +128,10 @@ func (d *daemon) handleUDP(p *packet.Packet) {
 		return
 	}
 	m.from = p.Tuple.SrcIP
+	d.a.obs.Emit(obs.Event{
+		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,
+		Detail: m.Type.String(), Dir: "recv", Peer: m.from,
+	})
 	switch m.Type {
 	case msgTrigger:
 		d.onTrigger(&m)
@@ -223,12 +232,17 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	if sess.Lock != Unlocked {
 		return fmt.Errorf("core: session %v segment is %v", sessID, sess.Lock)
 	}
-	// Transition directly under its guard so the static conformance check
+	// Assign the request id before the transition (assignments keep the
+	// dataflow fact alive) so the lock event carries it, and transition
+	// directly under the guard so the static conformance check
 	// (lint/fsm.go) can see that only Unlocked reaches this acquisition.
-	sess.setLock(LockPending)
 	d.nextReqID++
+	reqID := uint64(a.Host.Addr)<<24 | d.nextReqID
+	sess.LockReqID = reqID
+	sess.Requestor = a.Host.Addr
+	sess.setLock(LockPending)
 	rc := &Reconfig{
-		ID:        uint64(a.Host.Addr)<<24 | d.nextReqID,
+		ID:        reqID,
 		State:     RcLocking,
 		IsLeft:    true,
 		Sess:      sess,
@@ -243,9 +257,9 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	sess.Reconfig = rc
 	d.reconfigs[rc.ID] = rc
 	a.Stats.ReconfigsStarted++
+	// Anchor birth: From is empty, marking the initial state of the span.
+	a.obs.Emit(obs.Event{Kind: obs.KReconfig, Sess: sess.IDLeft, ReqID: rc.ID, To: rc.State.String()})
 
-	sess.LockReqID = rc.ID
-	sess.Requestor = a.Host.Addr
 	req := &ctrlMsg{
 		Type: msgReqLock, ReqID: rc.ID,
 		Session:     sess.IDRight,
@@ -287,7 +301,9 @@ func (d *daemon) adoptPlainSession(id packet.FiveTuple, leftSide bool) (*Session
 		rcvdAckedHi:  cv.RcvNxt(),
 		sentHiOK:     true, sentAckedOK: true, rcvdHiOK: true, rcvdAckedOK: true,
 		seenData: true,
+		obs:      a.obs,
 	}
+	a.obs.Emit(obs.Event{Kind: obs.KSessionOpen, Sess: id, Detail: "adopted"})
 	if leftSide {
 		sess.RightHost = id.DstIP
 		sess.SubRight = id
@@ -318,6 +334,7 @@ func (d *daemon) onCtrlTimeout(rc *Reconfig) {
 	}
 	rc.retries++
 	d.a.Stats.CtrlRetransmits++
+	d.a.obs.Metrics().Add(obs.MCtrlRetransmits, 1)
 	if rc.retries > d.a.Cfg.MaxControlRetries {
 		// New path (or peer) unreachable: abort and cancel locks (§3.6).
 		d.abortReconfig(rc)
@@ -380,6 +397,10 @@ func (d *daemon) closeReconfig(rc *Reconfig, ok bool) {
 	rc.rtxTimer.Stop()
 	rc.Sess.Reconfig = nil
 	took := d.eng.Now() - rc.started
+	if rc.IsLeft {
+		// One duration sample per reconfiguration, at the initiating anchor.
+		d.a.mReconfigDur.Observe(float64(took) / float64(time.Millisecond))
+	}
 	if rc.onDone != nil {
 		rc.onDone(ok, took)
 	}
@@ -507,9 +528,11 @@ func (d *daemon) onReqLock(m *ctrlMsg) {
 		sess.blocked = append(sess.blocked, m)
 		return
 	}
-	sess.setLock(LockPending)
+	// Request id first so the lock event carries it (plain assignments do
+	// not disturb the conformance dataflow between guard and transition).
 	sess.LockReqID = m.ReqID
 	sess.Requestor = m.LeftAnchor
+	sess.setLock(LockPending)
 	d.forwardReqLock(sess, m)
 }
 
@@ -567,6 +590,7 @@ func (d *daemon) reqLockAtRightAnchor(m *ctrlMsg) {
 	sess.Reconfig = rc
 	d.reconfigs[rc.ID] = rc
 	a.Stats.LocksGranted++
+	a.obs.Emit(obs.Event{Kind: obs.KReconfig, Sess: sess.IDLeft, ReqID: rc.ID, To: rc.State.String()})
 	d.replyAckLock(rc, m)
 }
 
@@ -785,9 +809,11 @@ func (d *daemon) onNewPathSYN(m *ctrlMsg) {
 			LeftHost:   m.from,
 			SubLeft:    m.NewSub,
 			lastActive: d.eng.Now(),
+			obs:        a.obs,
 		}
 		a.sessions[m.Session] = sess
 		a.Stats.SessionsOpened++
+		a.obs.Emit(obs.Event{Kind: obs.KSessionOpen, Sess: sess.IDLeft, ReqID: m.ReqID, Detail: "new-path"})
 	}
 	next := m.NewList[0]
 	sub := a.newSubTuple(next)

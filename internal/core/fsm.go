@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // This file is the single home of the two per-session state machines the
 // reconfiguration protocol runs: the subsession lock machine (§3.2) and the
@@ -46,6 +50,14 @@ func (s *Session) setLock(to LockState) {
 	if to != s.Lock && !lockStep(s.Lock, to) {
 		panic(fmt.Sprintf("core: invalid lock transition %v -> %v", s.Lock, to))
 	}
+	if to != s.Lock {
+		// Emission lives in the funnel so the event log can never lag the
+		// machine (dyscolint obsexhaust checks the setter emits).
+		s.obs.Emit(obs.Event{
+			Kind: obs.KLock, Sess: s.IDLeft, ReqID: s.LockReqID,
+			From: s.Lock.String(), To: to.String(),
+		})
+	}
 	s.Lock = to
 }
 
@@ -79,6 +91,12 @@ func reconfigStep(from, to ReconfigState) bool {
 func (rc *Reconfig) setState(to ReconfigState) {
 	if to != rc.State && !reconfigStep(rc.State, to) {
 		panic(fmt.Sprintf("core: invalid reconfig transition %v -> %v", rc.State, to))
+	}
+	if to != rc.State && rc.Sess != nil {
+		rc.Sess.obs.Emit(obs.Event{
+			Kind: obs.KReconfig, Sess: rc.Sess.IDLeft, ReqID: rc.ID,
+			From: rc.State.String(), To: to.String(),
+		})
 	}
 	rc.State = to
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+// TestObsStateNameConstants cross-checks the span builder's state-name
+// constants against this package's String renderings. obs cannot import
+// core, so it matches on rendered names — this test is what keeps the two
+// vocabularies from drifting.
+func TestObsStateNameConstants(t *testing.T) {
+	pairs := []struct {
+		got  string
+		want string
+	}{
+		{RcLocking.String(), obs.StLocking},
+		{RcSettingUp.String(), obs.StSettingUp},
+		{RcStateWait.String(), obs.StStateWait},
+		{RcTwoPath.String(), obs.StTwoPath},
+		{RcDone.String(), obs.StDone},
+		{RcFailed.String(), obs.StFailed},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Fatalf("core renders %q, obs span builder matches %q", p.got, p.want)
+		}
+	}
+}
+
+// TestRewritePathZeroAlloc is the benchmark guard of the observability
+// PR: the instrumented per-packet rewrite path must allocate nothing when
+// the host is unobserved (nil recorder) and nothing when a recorder is
+// attached with the per-packet kind disabled — events are stack-built
+// values and the emit call returns before touching storage.
+func TestRewritePathZeroAlloc(t *testing.T) {
+	env := newBenchEnv(1)
+	a := env.aClient
+	sess := &Session{IDLeft: packet.FiveTuple{SrcIP: 1, DstIP: 2}, IDRight: packet.FiveTuple{SrcIP: 1, DstIP: 2}}
+	e := &rewriteEntry{
+		to:   packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
+		sess: sess, ackAdd: -12345, tsEcrAdd: -77,
+	}
+	p := packet.NewTCP(packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4},
+		packet.FlagACK, 100, 200, make([]byte, 1400))
+	p.Opts.TS = &packet.Timestamp{Val: 1, Ecr: 2}
+	a.Cfg.RewriteCost = 0
+
+	if n := testing.AllocsPerRun(1000, func() { a.applyEgress(p, e) }); n != 0 {
+		t.Fatalf("unobserved applyEgress allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { a.applyIngress(p, e) }); n != 0 {
+		t.Fatalf("unobserved applyIngress allocates %.1f/op", n)
+	}
+
+	hub := obs.NewHub(env.eng)
+	r := hub.Recorder("client")
+	r.Disable(obs.KRewrite)
+	a.SetRecorder(r)
+	if n := testing.AllocsPerRun(1000, func() { a.applyEgress(p, e) }); n != 0 {
+		t.Fatalf("disabled-kind applyEgress allocates %.1f/op", n)
+	}
+	if got := r.Count(obs.KRewrite); got != 0 {
+		t.Fatalf("disabled kind still counted: %d", got)
+	}
+
+	// Sanity: with the kind enabled the same path does emit.
+	r.Enable(obs.KRewrite)
+	a.applyEgress(p, e)
+	if r.Count(obs.KRewrite) != 1 {
+		t.Fatal("enabled rewrite kind did not emit")
+	}
+}
+
+// TestEachSubsession checks the per-subsession packet/byte totals the
+// metrics registry reports.
+func TestEachSubsession(t *testing.T) {
+	env := newBenchEnv(2)
+	a := env.aClient
+	e := &rewriteEntry{to: packet.FiveTuple{SrcIP: 9, DstIP: 8}}
+	from := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+	a.egress[from] = e
+	p := packet.NewTCP(from, packet.FlagACK, 1, 1, make([]byte, 100))
+	a.Cfg.RewriteCost = 0
+	a.applyEgress(p, e)
+	var saw int
+	a.EachSubsession(func(dir string, f, to packet.FiveTuple, pkts, bytes uint64) {
+		saw++
+		if dir != "egress" || f != from || to != e.to || pkts != 1 || bytes != 100 {
+			t.Fatalf("subsession %s %v->%v pkts=%d bytes=%d", dir, f, to, pkts, bytes)
+		}
+	})
+	if saw != 1 {
+		t.Fatalf("EachSubsession visited %d entries", saw)
+	}
+}

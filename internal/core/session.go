@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -122,6 +123,11 @@ type Session struct {
 	finSeen [2]bool
 	// lastActive is the virtual time of the last packet, for idle cleanup.
 	lastActive sim.Time
+
+	// obs receives this session's structured events (lock/reconfig
+	// transitions, birth/close). Nil when the host is not being observed;
+	// every emission is a no-op then.
+	obs *obs.Recorder
 }
 
 // IsLeftEnd reports whether this host is the left end of the chain.

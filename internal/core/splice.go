@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -56,8 +57,10 @@ func (a *Agent) Splice(left, right SpliceConn, contentDelta, contentDeltaBack in
 			RightHost:  rightID.DstIP,
 			SubRight:   rightID,
 			lastActive: a.eng.Now(),
+			obs:        a.obs,
 		}
 		a.sessions[rightID] = sess2
+		a.obs.Emit(obs.Event{Kind: obs.KSessionOpen, Sess: rightID, Detail: "splice"})
 	}
 	sess.Splice = sess2
 	sess2.Splice = sess

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lab"
 	"repro/internal/mbox"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -76,6 +77,7 @@ func Fig12(sc Scale, seed int64) *Result {
 	link := netsim.LinkConfig{Delay: 50 * time.Microsecond, Bandwidth: netsim.Mbps(800), QueueBytes: 1 << 20}
 	mbLink := netsim.LinkConfig{Delay: 50 * time.Microsecond, Bandwidth: netsim.Gbps(1.6), QueueBytes: 2 << 20}
 	fe := buildFig11(4, link, mbLink, core.Config{}, nil, nil, seed)
+	hub := observeQuiet(fe.env)
 
 	fe.m1.Host.CPU.Series = stats.NewTimeSeries(time.Second)
 	proxy := mbox.NewProxy(fe.m1.Stack, fe.m1.Agent, 80, func(c *tcp.Conn) (packet.Addr, packet.Port) {
@@ -174,6 +176,11 @@ func Fig12(sc Scale, seed int64) *Result {
 	r.addNote("scale=%s: %d sessions, %v timeline, 800 Mbps host / 1.6 Gbps proxy links (paper: 600 sessions, 120s, 10 Gbps)",
 		sc.Label, 4*perPair, duration)
 	r.addNote("later removals show mainly in proxy CPU: once two pairs leave, the remaining pairs already reach their own line rate")
+	reportObs(r, hub)
+	if h := hub.Metrics.Hist(obs.MReconfigDuration); h != nil {
+		r.check("obs reconfig durations cover every completed reconfiguration",
+			h.N == uint64(reconfigsDone), "observed=%d done=%d", h.N, reconfigsDone)
+	}
 	return r
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mbox"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -23,6 +24,7 @@ func Fig13(sc Scale, seed int64) *Result {
 	sessions := 600 / sc.Sessions
 	link := netsim.LinkConfig{Delay: 50 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
 	fe := buildFig11(4, link, netsim.LinkConfig{}, core.Config{}, nil, nil, seed)
+	hub := observeQuiet(fe.env)
 
 	proxy := mbox.NewProxy(fe.m1.Stack, fe.m1.Agent, 80, func(c *tcp.Conn) (packet.Addr, packet.Port) {
 		return c.Tuple().SrcIP, 80
@@ -113,6 +115,14 @@ func Fig13(sc Scale, seed int64) *Result {
 		r.addNote("no control-message losses occurred at this scale/seed; tail check skipped")
 	}
 	r.addNote("scale=%s: %d sessions (paper: 600); 1%% control-message loss injected", sc.Label, 4*per)
+	reportObs(r, hub)
+	if retx := ctrlRetransmits(); retx > 0 {
+		// The obs counter covers every host; retx sums only the hosts the
+		// figure's loss hooks watch, so obs must be at least that.
+		r.check("obs counter covers the agent control-retransmit stats",
+			hub.Metrics.Counter(obs.MCtrlRetransmits) >= retx,
+			"obs=%d agents=%d", hub.Metrics.Counter(obs.MCtrlRetransmits), retx)
+	}
 	return r
 }
 

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// ObsBench is the observability micro-benchmark CI runs on every change
+// (dyscobench -short): a chained transfer with one mid-stream middlebox
+// replacement, fully instrumented — per-packet rewrite events included —
+// so the hot-path metrics are exercised end to end. It returns the hub so
+// the caller can persist the metrics summary (BENCH_obs.json in CI); the
+// checks guard the contract the inspector depends on: the reconfiguration
+// produces exactly one completed span, the latency histograms fill, and
+// the event stream is reproducible run over run.
+func ObsBench(seed int64) (*Result, *obs.Hub) {
+	r := &Result{Name: "obsbench", Title: "Observability micro-benchmark: instrumented chain reconfiguration"}
+	hub, err := obsBenchRun(seed)
+	if err != nil {
+		r.check("instrumented transfer completes", false, "%v", err)
+		return r, hub
+	}
+	events := hub.Events()
+	spans := obs.BuildSpans(events)
+	done := 0
+	for _, sp := range spans {
+		if sp.Outcome == "done" {
+			done++
+		}
+	}
+	r.addRow("events=%d (truncated=%v), spans=%d (%d done)", len(events), hub.Truncated(), len(spans), done)
+	reportObs(r, hub)
+	r.check("exactly one completed reconfiguration span", len(spans) == 1 && done == 1,
+		"spans=%d done=%d", len(spans), done)
+	h := hub.Metrics.Hist(obs.MRewriteLatency)
+	r.check("rewrite latency histogram filled by the packet path", h != nil && h.N > 0,
+		"hist=%v", h)
+	d := hub.Metrics.Hist(obs.MReconfigDuration)
+	r.check("reconfiguration duration observed once", d != nil && d.N == 1, "hist=%v", d)
+	r.check("per-packet events stored (full instrumentation mode)",
+		hub.Count(obs.KRewrite) > 0, "rewrites=%d", hub.Count(obs.KRewrite))
+
+	// Determinism regression at the event-stream level: a second run with
+	// the same seed must hash identically.
+	hub2, err := obsBenchRun(seed)
+	if err != nil {
+		r.check("replay run completes", false, "%v", err)
+		return r, hub
+	}
+	r.check("same seed reproduces the event stream byte for byte",
+		hub.Hash() == hub2.Hash(), "hash1=%x hash2=%x", hub.Hash(), hub2.Hash())
+	return r, hub
+}
+
+// obsBenchRun executes one instrumented chain-reconfiguration run.
+func obsBenchRun(seed int64) (*obs.Hub, error) {
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Gbps(1)}
+	env := lab.NewEnv(seed)
+	hub := env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	mb1 := env.AddNode("mb1", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	mb2 := env.AddNode("mb2", lab.HostOptions{Link: link, App: mbox.NewMonitor()})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, mb1)
+
+	const total = 128 << 10
+	received := 0
+	server.Stack.Listen(80, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { received += len(b) }
+	})
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	var sendErr error
+	conn.OnEstablished = func() { sendErr = conn.Send(make([]byte, total)) }
+	env.RunFor(50 * time.Millisecond)
+	if sendErr != nil {
+		return hub, sendErr
+	}
+	if err := client.Agent.StartReconfig(conn.Tuple(), core.ReconfigOptions{
+		RightAnchor:    server.Addr(),
+		NewMiddleboxes: []packet.Addr{mb2.Addr()},
+		OnDone:         func(bool, sim.Time) {},
+	}); err != nil {
+		return hub, err
+	}
+	env.RunFor(10 * time.Second)
+	if received != total {
+		return hub, fmt.Errorf("obsbench delivered %d of %d bytes", received, total)
+	}
+	return hub, nil
+}

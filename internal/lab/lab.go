@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -32,6 +33,7 @@ type Env struct {
 	nodes  map[string]*Node
 	names  []string
 	next   byte
+	hub    *obs.Hub
 }
 
 // NewEnv creates an engine, a network, and a central forwarding router at
@@ -102,7 +104,37 @@ func (e *Env) AddNode(name string, opt HostOptions) *Node {
 	}
 	e.nodes[name] = node
 	e.names = append(e.names, name)
+	if e.hub != nil {
+		e.attach(node)
+	}
 	return node
+}
+
+// Observe turns on structured observability for the testbed: every node
+// (existing and future) gets a per-host event recorder feeding one hub,
+// whose merged event stream and metrics registry the caller inspects or
+// hashes. Idempotent; returns the same hub on repeat calls.
+func (e *Env) Observe() *obs.Hub {
+	if e.hub == nil {
+		e.hub = obs.NewHub(e.Eng)
+		for _, name := range e.names {
+			e.attach(e.nodes[name])
+		}
+	}
+	return e.hub
+}
+
+// Hub returns the observability hub, or nil when Observe was never called.
+func (e *Env) Hub() *obs.Hub { return e.hub }
+
+func (e *Env) attach(n *Node) {
+	r := e.hub.Recorder(n.Host.Name)
+	if n.Agent != nil {
+		n.Agent.SetRecorder(r)
+	}
+	if n.Stack != nil {
+		n.Stack.SetRecorder(r)
+	}
 }
 
 // Node returns a node by name (nil if absent).

@@ -470,7 +470,7 @@ func missingReason() {}
 
 func TestAllAnalyzersPresent(t *testing.T) {
 	want := []string{"walltime", "seqarith", "mapiter", "locksafe", "errdrop",
-		"statexhaust", "lockorder", "rewritetaint", "fsmconform"}
+		"statexhaust", "lockorder", "rewritetaint", "fsmconform", "obsexhaust"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))

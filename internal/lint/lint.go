@@ -60,6 +60,7 @@ func All() []*Analyzer {
 		LockorderAnalyzer,
 		RewritetaintAnalyzer,
 		FsmconformAnalyzer,
+		ObsexhaustAnalyzer,
 	}
 }
 

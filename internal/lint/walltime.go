@@ -16,6 +16,7 @@ var virtualClockPkgs = []string{
 	"internal/core",
 	"internal/tcp",
 	"internal/mbox",
+	"internal/obs",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time. Duration

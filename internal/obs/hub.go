@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+var zeroTuple packet.FiveTuple
+
+// Hub owns the per-host recorders of one simulation and merges their
+// logs into a single deterministic stream. It also carries the shared
+// metrics registry.
+type Hub struct {
+	eng     *sim.Engine
+	Metrics *Metrics
+	recs    []*Recorder
+	byHost  map[string]*Recorder
+}
+
+// NewHub creates a hub bound to the engine's virtual clock.
+func NewHub(eng *sim.Engine) *Hub {
+	return &Hub{
+		eng:     eng,
+		Metrics: NewMetrics(),
+		byHost:  make(map[string]*Recorder),
+	}
+}
+
+// Recorder returns the recorder for host, creating it on first use.
+func (h *Hub) Recorder(host string) *Recorder {
+	if r, ok := h.byHost[host]; ok {
+		return r
+	}
+	r := &Recorder{eng: h.eng, hub: h, host: host, limit: DefaultLimit}
+	h.byHost[host] = r
+	h.recs = append(h.recs, r)
+	return r
+}
+
+// Hosts returns the recorder host names, sorted.
+func (h *Hub) Hosts() []string {
+	out := make([]string, 0, len(h.recs))
+	for _, r := range h.recs {
+		out = append(out, r.host)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns all recorded events merged and sorted by
+// (Time, Host, Seq) — a total order, since Seq is unique per host.
+func (h *Hub) Events() []Event {
+	var n int
+	for _, r := range h.recs {
+		n += len(r.events)
+	}
+	out := make([]Event, 0, n)
+	for _, r := range h.recs {
+		out = append(out, r.events...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Truncated reports whether any recorder dropped events.
+func (h *Hub) Truncated() bool {
+	for _, r := range h.recs {
+		if r.truncated {
+			return true
+		}
+	}
+	return false
+}
+
+// Count sums emissions of kind k across hosts (exact under truncation).
+func (h *Hub) Count(k Kind) uint64 {
+	var n uint64
+	for _, r := range h.recs {
+		n += r.Count(k)
+	}
+	return n
+}
+
+// Hash returns a 64-bit FNV-1a digest of the rendered merged stream.
+// Determinism regression tests compare exactly this, the event-stream
+// analogue of trace.Capture.Hash.
+func (h *Hub) Hash() uint64 {
+	return EventsHash(h.Events())
+}
+
+// EventsHash digests a rendered event slice with FNV-1a.
+func EventsHash(events []Event) uint64 {
+	d := fnv.New64a()
+	for _, e := range events {
+		d.Write([]byte(e.String()))
+		d.Write([]byte{'\n'})
+	}
+	return d.Sum64()
+}
+
+// Dump renders the merged stream as text, one line per event.
+func (h *Hub) Dump() string {
+	var b strings.Builder
+	for _, e := range h.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// eventJSON is the stable wire form of an Event. Field order is the
+// declaration order, tuples and enums render as strings, and empty
+// optional fields are omitted — the same conventions as
+// trace.Capture.DumpJSON, so both logs share one machine-readable
+// format.
+type eventJSON struct {
+	Time   int64  `json:"time"`
+	Host   string `json:"host"`
+	Kind   string `json:"kind"`
+	Seq    uint64 `json:"seq"`
+	Sess   string `json:"sess,omitempty"`
+	ReqID  uint64 `json:"reqid,omitempty"`
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Dir    string `json:"dir,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+}
+
+// MarshalJSON renders the event in the shared JSON-lines schema.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		Time:   int64(e.Time),
+		Host:   e.Host,
+		Kind:   e.Kind.String(),
+		Seq:    e.Seq,
+		ReqID:  e.ReqID,
+		From:   e.From,
+		To:     e.To,
+		Detail: e.Detail,
+		Dir:    e.Dir,
+		Bytes:  e.Bytes,
+	}
+	if e.Sess != zeroTuple {
+		j.Sess = e.Sess.String()
+	}
+	if e.Peer != 0 {
+		j.Peer = e.Peer.String()
+	}
+	return json.Marshal(j)
+}
+
+// WriteJSON writes the merged stream as JSON lines (one event object per
+// line). Output is byte-identical for identical event streams.
+func (h *Hub) WriteJSON(w io.Writer) error {
+	return WriteEventsJSON(w, h.Events())
+}
+
+// WriteEventsJSON writes events as JSON lines.
+func WriteEventsJSON(w io.Writer, events []Event) error {
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot folds the per-kind event counts into a clone of the metrics
+// registry (as counters named "events_<kind>"), giving one registry that
+// reports both instrumented measurements and emission totals.
+func (h *Hub) Snapshot() *Metrics {
+	m := h.Metrics.Clone()
+	for _, k := range Kinds() {
+		if n := h.Count(k); n > 0 {
+			m.Add("events_"+k.String(), n)
+		}
+	}
+	return m
+}

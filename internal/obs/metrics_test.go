@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsIsNoop(t *testing.T) {
+	var m *Metrics
+	m.Add("x", 1)
+	if m.Counter("x") != 0 || m.Histogram("h", 1, 2) != nil || m.Hist("h") != nil {
+		t.Fatal("nil metrics must answer zeros")
+	}
+	if m.CounterNames() != nil || m.HistNames() != nil {
+		t.Fatal("nil metrics names must be nil")
+	}
+	if m.Clone() == nil {
+		t.Fatal("nil Clone returns an empty registry")
+	}
+	var b bytes.Buffer
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsCountersAndNames(t *testing.T) {
+	m := NewMetrics()
+	m.Add("b", 2)
+	m.Add("a", 1)
+	m.Add("b", 3)
+	if m.Counter("b") != 5 || m.Counter("a") != 1 || m.Counter("absent") != 0 {
+		t.Fatalf("counters: %s", m.Dump())
+	}
+	if names := m.CounterNames(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v not sorted", names)
+	}
+}
+
+func TestMetricsHistogramRegistration(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat", 1, 2, 4)
+	if m.Histogram("lat") != h {
+		t.Fatal("re-fetch without bounds must return the same histogram")
+	}
+	if m.Histogram("lat", 1, 2, 4) != h {
+		t.Fatal("re-register with same layout must return the same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-register with different bounds count must panic")
+		}
+	}()
+	m.Histogram("lat", 1, 2)
+}
+
+func TestMetricsCloneAndMerge(t *testing.T) {
+	a := NewMetrics()
+	a.Add("c", 1)
+	a.Histogram("h", 1, 2).Observe(1.5)
+	c := a.Clone()
+	c.Add("c", 10)
+	c.Hist("h").Observe(0.5)
+	if a.Counter("c") != 1 || a.Hist("h").N != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	b := NewMetrics()
+	b.Add("c", 5)
+	b.Add("only_b", 7)
+	b.Histogram("h", 1, 2).Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counter("c") != 6 || a.Counter("only_b") != 7 || a.Hist("h").N != 2 {
+		t.Fatalf("merge: %s", a.Dump())
+	}
+	bad := NewMetrics()
+	bad.Histogram("h", 9)
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("merge with mismatched histogram layout must error")
+	}
+}
+
+func TestMetricsWriteJSONDeterministic(t *testing.T) {
+	build := func() *Metrics {
+		m := NewMetrics()
+		m.Add("zeta", 1)
+		m.Add("alpha", 2)
+		h := m.Histogram(MRewriteLatency, RewriteLatencyBounds()...)
+		h.Observe(100)
+		h.Observe(300)
+		return m
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("metrics JSON not deterministic")
+	}
+	out := b1.String()
+	for _, want := range []string{`"counters"`, `"histograms"`, MRewriteLatency, `"p99"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

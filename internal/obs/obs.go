@@ -1,0 +1,267 @@
+// Package obs is the observability layer: a deterministic, virtual-clock
+// stamped structured event log, a metrics registry, and a span model that
+// stitches one reconfiguration's events across hosts into a causal
+// timeline. Instrumented packages (core, tcp) hold a per-host *Recorder
+// and emit typed events at every state-machine transition, control
+// message, tuple rewrite, session birth/close, and TCP loss-recovery
+// action; a Hub merges the per-host logs into one deterministic stream.
+//
+// Two properties are load-bearing:
+//
+//   - Nil-safety. Every Recorder (and Metrics/Histogram) method is a no-op
+//     on a nil receiver, so instrumentation sites call unconditionally and
+//     the disabled configuration adds zero allocations to the packet hot
+//     path (events are plain values built on the caller's stack).
+//
+//   - Determinism. Events are stamped with the engine's virtual clock and
+//     a per-recorder sequence number; the merged stream is ordered by
+//     (time, host, seq), which is a total order. Two runs of the same
+//     scenario with the same seed produce byte-identical logs, and the
+//     determinism regression tests compare exactly Hub.Hash.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Kind classifies an event. Every variant must have at least one emitter
+// outside this package — dyscolint's obsexhaust rule enforces it, so the
+// event taxonomy can never silently lag the code it describes.
+type Kind uint8
+
+// Event kinds. Values start at 1 so the zero Event is recognizably unset.
+const (
+	// KLock is a subsession lock-machine transition (setLock, §3.2).
+	KLock Kind = iota + 1
+	// KReconfig is a per-anchor reconfiguration-machine transition
+	// (setState); From == "" marks the anchor's birth state.
+	KReconfig
+	// KCtrl is a daemon control message; Detail is the message type and
+	// Dir "send" or "recv".
+	KCtrl
+	// KSessionOpen is a Dysco session coming into existence at a host.
+	KSessionOpen
+	// KSessionClose is a session being garbage-collected.
+	KSessionClose
+	// KRewrite is a data-path five-tuple rewrite; Dir is the hook side.
+	KRewrite
+	// KRetransmit is a TCP retransmission (fast or bulk).
+	KRetransmit
+	// KRTO is a TCP retransmission-timeout firing.
+	KRTO
+)
+
+// kindCount is the number of declared kinds.
+const kindCount = int(KRTO)
+
+func (k Kind) String() string {
+	switch k {
+	case KLock:
+		return "lock"
+	case KReconfig:
+		return "reconfig"
+	case KCtrl:
+		return "ctrl"
+	case KSessionOpen:
+		return "session-open"
+	case KSessionClose:
+		return "session-close"
+	case KRewrite:
+		return "rewrite"
+	case KRetransmit:
+		return "retransmit"
+	case KRTO:
+		return "rto"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all declared kinds in value order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, kindCount)
+	for k := KLock; int(k) <= kindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event is one structured observation. Time, Host, and Seq are assigned
+// by the Recorder at emit time; emitters fill the rest. All fields are
+// values (strings are shared constants), so building an Event never
+// allocates.
+type Event struct {
+	Time sim.Time
+	Host string
+	// Seq is the per-recorder emission index: (Time, Host, Seq) totally
+	// orders the merged stream.
+	Seq  uint64
+	Kind Kind
+	// Sess identifies the session (IDLeft for Dysco sessions, the local
+	// tuple for TCP events); zero when not session-scoped.
+	Sess packet.FiveTuple
+	// ReqID ties the event to one reconfiguration (0 = none); spans are
+	// stitched on it.
+	ReqID uint64
+	// From/To are state names for KLock/KReconfig transitions.
+	From, To string
+	// Detail is kind-specific: control message type, session origin, etc.
+	Detail string
+	// Dir is "send"/"recv" for KCtrl and "egress"/"ingress" for KRewrite.
+	Dir string
+	// Peer is the remote daemon for KCtrl (0 = none).
+	Peer packet.Addr
+	// Bytes is the payload size for KRewrite/KRetransmit/KRTO.
+	Bytes int
+}
+
+// String renders the event as one aligned text line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-10s %-13s", e.Time, e.Host, e.Kind)
+	if e.ReqID != 0 {
+		fmt.Fprintf(&b, " rc=%d", e.ReqID)
+	}
+	if e.From != "" || e.To != "" {
+		fmt.Fprintf(&b, " %s->%s", e.From, e.To)
+	}
+	if e.Dir != "" {
+		fmt.Fprintf(&b, " %s", e.Dir)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	if e.Peer != 0 {
+		fmt.Fprintf(&b, " peer=%v", e.Peer)
+	}
+	if e.Sess != (packet.FiveTuple{}) {
+		fmt.Fprintf(&b, " sess=%v", e.Sess)
+	}
+	if e.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", e.Bytes)
+	}
+	return b.String()
+}
+
+// DefaultLimit bounds stored events per recorder when no explicit limit
+// is set; counts keep accumulating past it.
+const DefaultLimit = 200_000
+
+// Recorder is the per-host event sink. The zero value is not usable;
+// obtain one from Hub.Recorder. A nil *Recorder is a valid disabled
+// recorder: every method is a no-op.
+type Recorder struct {
+	eng  *sim.Engine
+	hub  *Hub
+	host string
+
+	// disabled is a bitmask over Kind values (bit k = Kind k off).
+	disabled uint32
+	limit    int
+	events   []Event
+	seq      uint64
+	// counts[k] counts emissions of Kind k, including those dropped by
+	// the storage limit (so counters stay exact under truncation).
+	counts    [kindCount + 1]uint64
+	truncated bool
+}
+
+// Emit records e, stamping it with the current virtual time, this
+// recorder's host, and the next sequence number. No-op on a nil receiver
+// or a disabled kind. An out-of-range kind panics: it means an emitter
+// predates the taxonomy, which obsexhaust should have caught.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if e.Kind == 0 || int(e.Kind) > kindCount {
+		panic(fmt.Sprintf("obs: emit of invalid kind %d", int(e.Kind)))
+	}
+	if r.disabled&(1<<e.Kind) != 0 {
+		return
+	}
+	r.counts[e.Kind]++
+	if len(r.events) >= r.limit {
+		r.truncated = true
+		return
+	}
+	e.Time = r.eng.Now()
+	e.Host = r.host
+	e.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, e)
+}
+
+// Disable turns the given kinds off (events are neither stored nor
+// counted). Used to keep per-packet kinds out of long runs.
+func (r *Recorder) Disable(kinds ...Kind) {
+	if r == nil {
+		return
+	}
+	for _, k := range kinds {
+		r.disabled |= 1 << k
+	}
+}
+
+// Enable turns the given kinds back on.
+func (r *Recorder) Enable(kinds ...Kind) {
+	if r == nil {
+		return
+	}
+	for _, k := range kinds {
+		r.disabled &^= 1 << k
+	}
+}
+
+// SetLimit bounds stored events; 0 restores DefaultLimit. Older events
+// are kept and newer ones dropped, mirroring trace.Capture.
+func (r *Recorder) SetLimit(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultLimit
+	}
+	r.limit = n
+}
+
+// Truncated reports whether the storage limit dropped events.
+func (r *Recorder) Truncated() bool { return r != nil && r.truncated }
+
+// Events returns this recorder's events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Count returns the number of emissions of kind k (exact even when
+// storage truncated).
+func (r *Recorder) Count(k Kind) uint64 {
+	if r == nil || k == 0 || int(k) > kindCount {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Host returns the host name this recorder stamps on events.
+func (r *Recorder) Host() string {
+	if r == nil {
+		return ""
+	}
+	return r.host
+}
+
+// Metrics returns the hub's shared metrics registry (nil for a nil
+// recorder, so callers can resolve histograms unconditionally).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.hub.Metrics
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func testTuple() packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: packet.MakeAddr(10, 0, 0, 1), SrcPort: 1234,
+		DstIP: packet.MakeAddr(10, 0, 0, 2), DstPort: 80,
+		Proto: packet.ProtoTCP,
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Kind: KLock})
+	r.Disable(KRewrite)
+	r.Enable(KRewrite)
+	r.SetLimit(10)
+	if r.Truncated() || r.Events() != nil || r.Count(KLock) != 0 || r.Host() != "" || r.Metrics() != nil {
+		t.Fatal("nil recorder must answer zeros")
+	}
+}
+
+func TestRecorderStamping(t *testing.T) {
+	eng := sim.NewEngine(1)
+	hub := NewHub(eng)
+	r := hub.Recorder("h1")
+	r.Emit(Event{Kind: KLock, From: "unlocked", To: "lockPending"})
+	eng.At(5, func() { r.Emit(Event{Kind: KCtrl, Detail: "requestLock", Dir: "send"}) })
+	eng.Run(10)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Time != 0 || evs[0].Host != "h1" || evs[0].Seq != 0 {
+		t.Fatalf("stamp 0: %+v", evs[0])
+	}
+	if evs[1].Time != 5 || evs[1].Seq != 1 {
+		t.Fatalf("stamp 1: %+v", evs[1])
+	}
+	if hub.Recorder("h1") != r {
+		t.Fatal("Recorder must be idempotent per host")
+	}
+}
+
+func TestRecorderInvalidKindPanics(t *testing.T) {
+	r := NewHub(sim.NewEngine(1)).Recorder("h")
+	for _, k := range []Kind{0, Kind(kindCount + 1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Emit(kind=%d) did not panic", k)
+				}
+			}()
+			r.Emit(Event{Kind: k})
+		}()
+	}
+}
+
+func TestRecorderKindMask(t *testing.T) {
+	r := NewHub(sim.NewEngine(1)).Recorder("h")
+	r.Disable(KRewrite, KRetransmit)
+	r.Emit(Event{Kind: KRewrite})
+	r.Emit(Event{Kind: KLock})
+	if len(r.Events()) != 1 || r.Count(KRewrite) != 0 || r.Count(KLock) != 1 {
+		t.Fatalf("mask not applied: %d events", len(r.Events()))
+	}
+	r.Enable(KRewrite)
+	r.Emit(Event{Kind: KRewrite})
+	if r.Count(KRewrite) != 1 {
+		t.Fatal("Enable did not restore the kind")
+	}
+}
+
+func TestRecorderLimitAndCounts(t *testing.T) {
+	r := NewHub(sim.NewEngine(1)).Recorder("h")
+	r.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KRewrite})
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("stored %d events, limit 3", len(r.Events()))
+	}
+	if !r.Truncated() {
+		t.Fatal("Truncated must be set")
+	}
+	// Counts stay exact past the storage limit.
+	if r.Count(KRewrite) != 10 {
+		t.Fatalf("Count = %d, want 10", r.Count(KRewrite))
+	}
+	// SetLimit(0) restores the default rather than dropping everything —
+	// the trace.Capture Limit-zero bug, not repeated here.
+	r2 := NewHub(sim.NewEngine(1)).Recorder("h")
+	r2.SetLimit(0)
+	r2.Emit(Event{Kind: KLock})
+	if len(r2.Events()) != 1 || r2.Truncated() {
+		t.Fatal("SetLimit(0) must mean the default limit, not zero")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(Kinds()) != kindCount {
+		t.Fatalf("Kinds() returned %d, kindCount %d", len(Kinds()), kindCount)
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+}
+
+func TestHubMergeOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	hub := NewHub(eng)
+	// Create recorders in non-alphabetical order; the merge must still be
+	// (time, host, seq)-ordered.
+	rb := hub.Recorder("bravo")
+	ra := hub.Recorder("alpha")
+	eng.At(1, func() { rb.Emit(Event{Kind: KCtrl, Detail: "b1"}) })
+	eng.At(1, func() { ra.Emit(Event{Kind: KCtrl, Detail: "a1"}) })
+	eng.At(1, func() { ra.Emit(Event{Kind: KCtrl, Detail: "a2"}) })
+	eng.At(0, func() { rb.Emit(Event{Kind: KCtrl, Detail: "b0"}) })
+	eng.Run(10)
+	var got []string
+	for _, e := range hub.Events() {
+		got = append(got, e.Detail)
+	}
+	want := []string{"b0", "a1", "a2", "b1"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+	if hs := hub.Hosts(); len(hs) != 2 || hs[0] != "alpha" || hs[1] != "bravo" {
+		t.Fatalf("Hosts = %v", hs)
+	}
+	if hub.Count(KCtrl) != 4 {
+		t.Fatalf("Count = %d", hub.Count(KCtrl))
+	}
+}
+
+func TestHubHashAndJSONStability(t *testing.T) {
+	build := func() *Hub {
+		eng := sim.NewEngine(7)
+		hub := NewHub(eng)
+		r := hub.Recorder("h1")
+		r2 := hub.Recorder("h2")
+		eng.At(3, func() {
+			r.Emit(Event{Kind: KReconfig, Sess: testTuple(), ReqID: 42, To: StLocking})
+		})
+		eng.At(4, func() {
+			r2.Emit(Event{Kind: KCtrl, Sess: testTuple(), ReqID: 42, Detail: "requestLock", Dir: "recv", Peer: packet.MakeAddr(10, 0, 0, 1)})
+		})
+		eng.Run(10)
+		return hub
+	}
+	h1, h2 := build(), build()
+	if h1.Hash() != h2.Hash() {
+		t.Fatal("identical streams must hash equal")
+	}
+	var b1, b2 bytes.Buffer
+	if err := h1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("JSON not byte-identical:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	// Every line is one JSON object with the shared leading keys.
+	for _, line := range strings.Split(strings.TrimSpace(b1.String()), "\n") {
+		if !strings.HasPrefix(line, `{"time":`) || !strings.Contains(line, `"host":`) || !strings.Contains(line, `"kind":`) {
+			t.Fatalf("line missing shared schema keys: %s", line)
+		}
+	}
+	// Optional zero fields are omitted.
+	if strings.Contains(b1.String(), `"from":""`) || strings.Contains(b1.String(), `"peer":""`) {
+		t.Fatalf("empty optional fields must be omitted: %s", b1.String())
+	}
+}
+
+func TestSnapshotFoldsEventCounts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	hub := NewHub(eng)
+	r := hub.Recorder("h")
+	r.Emit(Event{Kind: KLock})
+	r.Emit(Event{Kind: KLock})
+	hub.Metrics.Add("custom", 5)
+	m := hub.Snapshot()
+	if m.Counter("events_lock") != 2 || m.Counter("custom") != 5 {
+		t.Fatalf("snapshot: %s", m.Dump())
+	}
+	// Snapshot must not alias the live registry.
+	m.Add("custom", 1)
+	if hub.Metrics.Counter("custom") != 5 {
+		t.Fatal("Snapshot aliases the live registry")
+	}
+}

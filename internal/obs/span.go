@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Reconfiguration state names as rendered by core's ReconfigState.String.
+// obs cannot import core (core imports obs), so the span builder matches
+// on the rendered names; core's tests cross-check that the renderings
+// and these constants agree.
+const (
+	StLocking   = "locking"
+	StSettingUp = "settingUp"
+	StStateWait = "stateWait"
+	StTwoPath   = "twoPath"
+	StDone      = "done"
+	StFailed    = "failed"
+)
+
+// Phase names of a reconfiguration span, in causal order (§3.1–§3.5):
+// lock propagation, new-path setup plus middlebox state transfer
+// (Figure 15), the switchover to the new path, and the old-path drain.
+const (
+	PhaseLock          = "lock"
+	PhaseStateTransfer = "state-transfer"
+	PhaseSwitchover    = "switchover"
+	PhaseDrain         = "drain"
+)
+
+// Phase is one contiguous slice of a span's timeline.
+type Phase struct {
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Span is one reconfiguration's events stitched across every
+// participating host into a causal timeline, keyed by the
+// reconfiguration request ID that all control messages and
+// state-machine events carry.
+type Span struct {
+	ReqID uint64
+	Sess  packet.FiveTuple
+	Start sim.Time
+	End   sim.Time
+	// Hosts are the participating hosts in order of first appearance.
+	Hosts []string
+	// LeftAnchor/RightAnchor are the hosts whose anchors were born in
+	// RcLocking / RcSettingUp ("" if the span never saw the birth).
+	LeftAnchor  string
+	RightAnchor string
+	// Events are the span's events in merged (Time, Host, Seq) order.
+	Events []Event
+	// Phases is the derived lock → state-transfer → switchover → drain
+	// decomposition; phases whose boundary transitions never happened
+	// are omitted.
+	Phases []Phase
+	// Outcome is "done", "failed", or "incomplete".
+	Outcome string
+}
+
+// Took returns the span's total duration.
+func (s *Span) Took() sim.Time { return s.End - s.Start }
+
+// BuildSpans groups reconfiguration-scoped events (ReqID != 0) by
+// request ID and derives each span's phase decomposition. The input
+// must already be in merged order (as returned by Hub.Events); spans
+// are returned sorted by start time, then request ID.
+func BuildSpans(events []Event) []*Span {
+	byReq := make(map[uint64]*Span)
+	var order []uint64
+	for _, e := range events {
+		if e.ReqID == 0 {
+			continue
+		}
+		sp, ok := byReq[e.ReqID]
+		if !ok {
+			sp = &Span{ReqID: e.ReqID, Start: e.Time, Outcome: "incomplete"}
+			byReq[e.ReqID] = sp
+			order = append(order, e.ReqID)
+		}
+		sp.Events = append(sp.Events, e)
+		sp.End = e.Time
+		if sp.Sess == zeroTuple && e.Sess != zeroTuple {
+			sp.Sess = e.Sess
+		}
+		if !containsStr(sp.Hosts, e.Host) {
+			sp.Hosts = append(sp.Hosts, e.Host)
+		}
+		if e.Kind == KReconfig {
+			if e.From == "" && e.To == StLocking {
+				sp.LeftAnchor = e.Host
+			}
+			if e.From == "" && e.To == StSettingUp {
+				sp.RightAnchor = e.Host
+			}
+			if e.To == StDone && sp.Outcome != "failed" {
+				sp.Outcome = "done"
+			}
+			if e.To == StFailed {
+				sp.Outcome = "failed"
+			}
+		}
+	}
+	out := make([]*Span, 0, len(order))
+	for _, id := range order {
+		sp := byReq[id]
+		sp.derivePhases()
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ReqID < out[j].ReqID
+	})
+	return out
+}
+
+// anchorTransition returns the time of the left (or, when left is "",
+// any) anchor's transition into state to.
+func (s *Span) anchorTransition(host, to string) (sim.Time, bool) {
+	for _, e := range s.Events {
+		if e.Kind != KReconfig || e.To != to {
+			continue
+		}
+		if host != "" && e.Host != host {
+			continue
+		}
+		return e.Time, true
+	}
+	return 0, false
+}
+
+// derivePhases decomposes the span along the left anchor's
+// reconfiguration machine: lock ends when the anchor enters settingUp,
+// state-transfer (new-path setup plus optional middlebox state
+// migration) ends when it enters twoPath, switchover lasts until the
+// right anchor has entered twoPath as well, and drain runs to the
+// anchor's terminal transition.
+func (s *Span) derivePhases() {
+	s.Phases = nil
+	left := s.LeftAnchor
+	tLockEnd, ok := s.anchorTransition(left, StSettingUp)
+	if !ok {
+		return
+	}
+	s.Phases = append(s.Phases, Phase{Name: PhaseLock, Start: s.Start, End: tLockEnd})
+	tSwitch, ok := s.anchorTransition(left, StTwoPath)
+	if !ok {
+		return
+	}
+	s.Phases = append(s.Phases, Phase{Name: PhaseStateTransfer, Start: tLockEnd, End: tSwitch})
+	tSwitchEnd := tSwitch
+	if s.RightAnchor != "" && s.RightAnchor != left {
+		if t, ok := s.anchorTransition(s.RightAnchor, StTwoPath); ok && t > tSwitchEnd {
+			tSwitchEnd = t
+		}
+	}
+	s.Phases = append(s.Phases, Phase{Name: PhaseSwitchover, Start: tSwitch, End: tSwitchEnd})
+	tDone := s.End
+	if t, ok := s.anchorTransition(left, StDone); ok {
+		tDone = t
+	} else if t, ok := s.anchorTransition(left, StFailed); ok {
+		tDone = t
+	}
+	s.Phases = append(s.Phases, Phase{Name: PhaseDrain, Start: tSwitchEnd, End: tDone})
+}
+
+// phaseOf returns the index in Phases whose interval holds t (events at
+// a boundary belong to the later phase; -1 before the first phase).
+func (s *Span) phaseOf(t sim.Time) int {
+	idx := -1
+	for i, ph := range s.Phases {
+		if t >= ph.Start {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// FormatTree renders the span as an indented tree: header, then each
+// phase with its events.
+func (s *Span) FormatTree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reconfig rc=%d sess=%v outcome=%s hosts=%s span=[%v .. %v] took=%v\n",
+		s.ReqID, s.Sess, s.Outcome, "["+strings.Join(s.Hosts, " ")+"]", s.Start, s.End, s.Took())
+	if len(s.Phases) == 0 {
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, "    %s\n", e.String())
+		}
+		return b.String()
+	}
+	// Events before the first phase (none in practice: the span starts
+	// with the lock phase) print under the header.
+	for _, e := range s.Events {
+		if s.phaseOf(e.Time) < 0 {
+			fmt.Fprintf(&b, "    %s\n", e.String())
+		}
+	}
+	for i, ph := range s.Phases {
+		fmt.Fprintf(&b, "  phase %-15s [%v .. %v] (%v)\n", ph.Name, ph.Start, ph.End, ph.End-ph.Start)
+		for _, e := range s.Events {
+			if s.phaseOf(e.Time) == i {
+				fmt.Fprintf(&b, "    %s\n", e.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// spanJSON is the stable wire form of a span (events are emitted
+// separately as JSON lines; the span carries their count).
+type spanJSON struct {
+	ReqID       uint64      `json:"reqid"`
+	Sess        string      `json:"sess,omitempty"`
+	Outcome     string      `json:"outcome"`
+	Start       int64       `json:"start"`
+	End         int64       `json:"end"`
+	Hosts       []string    `json:"hosts"`
+	LeftAnchor  string      `json:"left_anchor,omitempty"`
+	RightAnchor string      `json:"right_anchor,omitempty"`
+	Phases      []phaseJSON `json:"phases"`
+	Events      int         `json:"events"`
+}
+
+type phaseJSON struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// MarshalJSON renders the span summary in the shared JSON schema.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	j := spanJSON{
+		ReqID:       s.ReqID,
+		Outcome:     s.Outcome,
+		Start:       int64(s.Start),
+		End:         int64(s.End),
+		Hosts:       s.Hosts,
+		LeftAnchor:  s.LeftAnchor,
+		RightAnchor: s.RightAnchor,
+		Phases:      []phaseJSON{},
+		Events:      len(s.Events),
+	}
+	if s.Sess != zeroTuple {
+		j.Sess = s.Sess.String()
+	}
+	for _, ph := range s.Phases {
+		j.Phases = append(j.Phases, phaseJSON{Name: ph.Name, Start: int64(ph.Start), End: int64(ph.End)})
+	}
+	return json.Marshal(j)
+}
+
+// WriteSpansJSON writes span summaries as JSON lines.
+func WriteSpansJSON(w io.Writer, spans []*Span) error {
+	for _, s := range spans {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTimeline renders events grouped per session (first-seen order):
+// the per-session view of one run. Events with no session render under
+// the "-" group.
+func FormatTimeline(events []Event) string {
+	groups := make(map[packet.FiveTuple][]Event)
+	var order []packet.FiveTuple
+	for _, e := range events {
+		if _, ok := groups[e.Sess]; !ok {
+			order = append(order, e.Sess)
+		}
+		groups[e.Sess] = append(groups[e.Sess], e)
+	}
+	var b strings.Builder
+	for _, sess := range order {
+		if sess == zeroTuple {
+			b.WriteString("session -\n")
+		} else {
+			fmt.Fprintf(&b, "session %v\n", sess)
+		}
+		for _, e := range groups[sess] {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
+	}
+	return b.String()
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

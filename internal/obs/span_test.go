@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// syntheticReconfig builds the event stream of one successful three-host
+// reconfiguration (client left anchor, server right anchor, mb in the
+// middle), already in merged order.
+func syntheticReconfig(req uint64, base sim.Time) []Event {
+	sess := testTuple()
+	at := func(d sim.Time, e Event) Event {
+		e.Time = base + d
+		e.Sess = sess
+		e.ReqID = req
+		return e
+	}
+	return []Event{
+		at(0, Event{Host: "client", Kind: KReconfig, To: StLocking}),
+		at(0, Event{Host: "client", Seq: 1, Kind: KLock, From: "unlocked", To: "lockPending"}),
+		at(0, Event{Host: "client", Seq: 2, Kind: KCtrl, Detail: "requestLock", Dir: "send"}),
+		at(1, Event{Host: "mb", Kind: KCtrl, Detail: "requestLock", Dir: "recv"}),
+		at(2, Event{Host: "server", Kind: KCtrl, Detail: "requestLock", Dir: "recv"}),
+		at(2, Event{Host: "server", Seq: 1, Kind: KReconfig, To: StSettingUp}),
+		at(4, Event{Host: "client", Seq: 3, Kind: KReconfig, From: StLocking, To: StSettingUp}),
+		at(6, Event{Host: "client", Seq: 4, Kind: KReconfig, From: StSettingUp, To: StTwoPath}),
+		at(7, Event{Host: "server", Seq: 2, Kind: KReconfig, From: StSettingUp, To: StTwoPath}),
+		at(9, Event{Host: "server", Seq: 3, Kind: KReconfig, From: StTwoPath, To: StDone}),
+		at(10, Event{Host: "client", Seq: 5, Kind: KReconfig, From: StTwoPath, To: StDone}),
+	}
+}
+
+func TestBuildSpans(t *testing.T) {
+	events := append(syntheticReconfig(42, 100), Event{Time: 50, Host: "x", Kind: KRewrite}) // ReqID 0: ignored
+	spans := BuildSpans(events)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	sp := spans[0]
+	if sp.ReqID != 42 || sp.Outcome != "done" {
+		t.Fatalf("span: %+v", sp)
+	}
+	if sp.LeftAnchor != "client" || sp.RightAnchor != "server" {
+		t.Fatalf("anchors %q/%q", sp.LeftAnchor, sp.RightAnchor)
+	}
+	if len(sp.Hosts) != 3 {
+		t.Fatalf("hosts %v", sp.Hosts)
+	}
+	if sp.Start != 100 || sp.End != 110 || sp.Took() != 10 {
+		t.Fatalf("window [%v, %v]", sp.Start, sp.End)
+	}
+	wantPhases := []Phase{
+		{PhaseLock, 100, 104},
+		{PhaseStateTransfer, 104, 106},
+		{PhaseSwitchover, 106, 107},
+		{PhaseDrain, 107, 110},
+	}
+	if len(sp.Phases) != len(wantPhases) {
+		t.Fatalf("phases %+v", sp.Phases)
+	}
+	for i, want := range wantPhases {
+		if sp.Phases[i] != want {
+			t.Fatalf("phase %d = %+v, want %+v", i, sp.Phases[i], want)
+		}
+	}
+	// Phase boundaries are contiguous and monotone.
+	for i := 1; i < len(sp.Phases); i++ {
+		if sp.Phases[i].Start != sp.Phases[i-1].End {
+			t.Fatalf("phases not contiguous at %d", i)
+		}
+	}
+}
+
+func TestBuildSpansFailedAndMulti(t *testing.T) {
+	first := syntheticReconfig(1, 0)
+	second := []Event{
+		{Time: 200, Host: "client", Kind: KReconfig, ReqID: 2, To: StLocking},
+		{Time: 205, Host: "client", Kind: KReconfig, ReqID: 2, From: StLocking, To: StFailed},
+	}
+	spans := BuildSpans(append(first, second...))
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].ReqID != 1 || spans[1].ReqID != 2 {
+		t.Fatalf("order %d, %d", spans[0].ReqID, spans[1].ReqID)
+	}
+	if spans[1].Outcome != "failed" {
+		t.Fatalf("outcome %q", spans[1].Outcome)
+	}
+	// The failed span never reached settingUp: no phases derived.
+	if len(spans[1].Phases) != 0 {
+		t.Fatalf("failed span phases %+v", spans[1].Phases)
+	}
+}
+
+func TestSpanFormatTree(t *testing.T) {
+	sp := BuildSpans(syntheticReconfig(42, 100))[0]
+	tree := sp.FormatTree()
+	for _, want := range []string{"rc=42", "outcome=done", PhaseLock, PhaseStateTransfer, PhaseSwitchover, PhaseDrain, "requestLock"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Phases appear in causal order.
+	if strings.Index(tree, PhaseLock) > strings.Index(tree, PhaseDrain) {
+		t.Fatalf("phases out of order:\n%s", tree)
+	}
+}
+
+func TestWriteSpansJSON(t *testing.T) {
+	spans := BuildSpans(syntheticReconfig(42, 100))
+	var b1, b2 bytes.Buffer
+	if err := WriteSpansJSON(&b1, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpansJSON(&b2, BuildSpans(syntheticReconfig(42, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("span JSON not deterministic")
+	}
+	line := strings.TrimSpace(b1.String())
+	for _, want := range []string{`"reqid":42`, `"outcome":"done"`, `"left_anchor":"client"`, `"right_anchor":"server"`, `"phases":[`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("JSON missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	events := []Event{
+		{Time: 1, Host: "a", Kind: KSessionOpen, Sess: testTuple()},
+		{Time: 2, Host: "a", Kind: KRTO},
+		{Time: 3, Host: "b", Kind: KRewrite, Sess: testTuple()},
+	}
+	out := FormatTimeline(events)
+	if !strings.Contains(out, "session "+testTuple().String()) {
+		t.Fatalf("missing session group:\n%s", out)
+	}
+	if !strings.Contains(out, "session -") {
+		t.Fatalf("missing unscoped group:\n%s", out)
+	}
+	if strings.Count(out, "session ") != 2 {
+		t.Fatalf("wrong group count:\n%s", out)
+	}
+}

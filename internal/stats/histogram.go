@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram: Bounds are ascending inclusive
+// upper bounds, and Counts has one extra trailing bucket for samples
+// above the last bound (the overflow bucket). It is the storage format
+// behind the observability metrics registry: unlike CDF it never keeps
+// raw samples, so the hot path pays one binary search and a few integer
+// adds per observation and memory stays O(buckets).
+//
+// All methods are safe on a nil receiver (no-ops / zero answers), which
+// lets instrumented code observe unconditionally while the disabled
+// configuration costs nothing.
+type Histogram struct {
+	Bounds []float64
+	Counts []uint64
+	N      uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// Panics on unsorted or empty bounds: bucket layout is part of a metric's
+// identity and must be fixed at registration time.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// ExpBounds returns n ascending bounds starting at first and multiplying
+// by factor — the usual shape for latency buckets.
+func ExpBounds(first, factor float64, n int) []float64 {
+	if n <= 0 || first <= 0 || factor <= 1 {
+		panic("stats: ExpBounds needs n>0, first>0, factor>1")
+	}
+	out := make([]float64, n)
+	v := first
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+	h.Counts[h.bucket(v)]++
+}
+
+// bucket returns the index of the bucket holding v (len(Bounds) = overflow).
+func (h *Histogram) bucket(v float64) int {
+	return sort.SearchFloat64s(h.Bounds, v)
+}
+
+// Overflow returns the count of samples above the last bound.
+func (h *Histogram) Overflow() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.Counts[len(h.Counts)-1]
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Quantile estimates the p-quantile from bucket counts, interpolating
+// within the winning bucket. Samples in the overflow bucket report the
+// observed maximum: with no upper bound there is nothing to interpolate
+// toward, and Max is exact.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.N)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i == len(h.Bounds) {
+				return h.Max
+			}
+			lo := h.Min
+			if i > 0 && h.Bounds[i-1] > lo {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			return lo + (hi-lo)*math.Min(1, math.Max(0, frac))
+		}
+		cum = next
+	}
+	return h.Max
+}
+
+// Merge adds o's counts into h. The bucket layouts must match exactly;
+// merging histograms with different bounds is a programming error and is
+// reported rather than silently mis-binned.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("stats: merge of mismatched histograms: %d vs %d bounds", len(h.Bounds), len(o.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("stats: merge of mismatched histograms: bound %d: %v vs %v", i, h.Bounds[i], o.Bounds[i])
+		}
+	}
+	if o.N == 0 {
+		return nil
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.N == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// Clone returns a deep copy (nil-safe).
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.Bounds = append([]float64(nil), h.Bounds...)
+	c.Counts = append([]uint64(nil), h.Counts...)
+	return &c
+}
+
+// String renders a one-line summary: count, mean, p50/p99, min/max and
+// the overflow count when non-zero.
+func (h *Histogram) String() string {
+	if h == nil || h.N == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g",
+		h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Min, h.Max)
+	if ov := h.Overflow(); ov > 0 {
+		fmt.Fprintf(&b, " overflow=%d", ov)
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	if h.N != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Overflow() != 0 {
+		t.Fatalf("empty histogram not zero: %+v", h)
+	}
+	if got := h.String(); got != "n=0" {
+		t.Fatalf("empty String = %q", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Mean() != 0 || nilH.Quantile(0.9) != 0 || nilH.Overflow() != 0 {
+		t.Fatal("nil histogram answers must be zero")
+	}
+	if nilH.Clone() != nil {
+		t.Fatal("nil Clone must be nil")
+	}
+	if err := nilH.Merge(h); err != nil {
+		t.Fatalf("nil Merge: %v", err)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	h.Observe(42)
+	if h.N != 1 || h.Min != 42 || h.Max != 42 || h.Sum != 42 {
+		t.Fatalf("after one sample: %+v", h)
+	}
+	if h.Mean() != 42 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	// Every quantile of a single sample is that sample: interpolation is
+	// clamped to [Min, Max].
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 42 {
+			t.Fatalf("Quantile(%v) = %v, want 42", p, q)
+		}
+	}
+	if h.Counts[1] != 1 {
+		t.Fatalf("sample landed in wrong bucket: %v", h.Counts)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.Observe(3)   // above last bound
+	h.Observe(999) // far above
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Counts[len(h.Counts)-1] != 2 {
+		t.Fatalf("overflow bucket = %v", h.Counts)
+	}
+	// Quantiles landing in the overflow bucket report the exact max.
+	if q := h.Quantile(0.99); q != 999 {
+		t.Fatalf("overflow quantile = %v, want 999", q)
+	}
+	if h.Max != 999 || h.Min != 0.5 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(1) // exactly on a bound: inclusive upper bound → bucket 0
+	h.Observe(2)
+	h.Observe(4)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Overflow() != 0 {
+		t.Fatalf("bound samples mis-binned: %v", h.Counts)
+	}
+}
+
+func TestHistogramBadConstruction(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram(1, 2)
+	if err := a.Merge(NewHistogram(1, 2, 3)); err == nil {
+		t.Fatal("merge with different bucket count must error")
+	}
+	if err := a.Merge(NewHistogram(1, 3)); err == nil {
+		t.Fatal("merge with different bounds must error")
+	}
+}
+
+// TestHistogramMergeProperty checks the defining algebraic property of
+// Merge: observing two sample sets into separate histograms and merging
+// equals observing the concatenation into one histogram.
+func TestHistogramMergeProperty(t *testing.T) {
+	bounds := ExpBounds(1, 2, 10)
+	prop := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := make([]float64, 0, len(vs))
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		a := NewHistogram(bounds...)
+		b := NewHistogram(bounds...)
+		both := NewHistogram(bounds...)
+		for _, v := range xs {
+			a.Observe(v)
+			both.Observe(v)
+		}
+		for _, v := range ys {
+			b.Observe(v)
+			both.Observe(v)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.N != both.N || a.Min != both.Min || a.Max != both.Max {
+			return false
+		}
+		if a.Sum != both.Sum {
+			// Addition order differs; allow rounding relative to the
+			// magnitude of the summands (cancellation can make the sum
+			// itself tiny).
+			var totalAbs float64
+			for _, v := range append(append([]float64(nil), xs...), ys...) {
+				totalAbs += math.Abs(v)
+			}
+			if math.Abs(a.Sum-both.Sum) > 1e-9*math.Max(1, totalAbs) {
+				return false
+			}
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != both.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCloneIndependent(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1.5)
+	c := h.Clone()
+	c.Observe(0.5)
+	if h.N != 1 || c.N != 2 {
+		t.Fatalf("clone not independent: h.N=%d c.N=%d", h.N, c.N)
+	}
+	if h.Counts[0] != 0 || c.Counts[0] != 1 {
+		t.Fatalf("clone shares counts: %v vs %v", h.Counts, c.Counts)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 12)...)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	last := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < last {
+			t.Fatalf("Quantile not monotone: p=%v q=%v < %v", p, q, last)
+		}
+		last = q
+	}
+	if h.Quantile(0) < 1 || h.Quantile(1) > 1000 {
+		t.Fatalf("quantile range [%v, %v] outside sample range", h.Quantile(0), h.Quantile(1))
+	}
+}

@@ -3,9 +3,27 @@ package tcp
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
+
+// obsRetransmit reports one retransmitted segment (nil-safe no-op when
+// the stack is unobserved).
+func (c *Conn) obsRetransmit(detail string, bytes int) {
+	if r := c.stack.obs; r != nil {
+		r.Emit(obs.Event{Kind: obs.KRetransmit, Sess: c.tuple, Detail: detail, Bytes: bytes})
+		r.Metrics().Add(obs.MTCPRetransmits, 1)
+	}
+}
+
+// obsRTO reports one retransmission-timeout firing.
+func (c *Conn) obsRTO(detail string) {
+	if r := c.stack.obs; r != nil {
+		r.Emit(obs.Event{Kind: obs.KRTO, Sess: c.tuple, Detail: detail})
+		r.Metrics().Add(obs.MTCPTimeouts, 1)
+	}
+}
 
 func min(a, b int) int {
 	if a < b {
@@ -336,6 +354,7 @@ func (c *Conn) retransmitRange(seq uint32, n int) {
 		// Beyond data: must be the FIN.
 		if c.finSent {
 			c.Stats.Retransmits++
+			c.obsRetransmit("fin", 0)
 			c.emit(packet.FlagFIN|packet.FlagACK, seq, nil)
 		}
 		return
@@ -355,6 +374,7 @@ func (c *Conn) retransmitRange(seq uint32, n int) {
 	}
 	payload := append([]byte(nil), c.sndBuf[off:off+n]...)
 	c.Stats.Retransmits++
+	c.obsRetransmit("data", n)
 	flags := packet.FlagACK
 	if c.finSent && off+n == len(c.sndBuf) {
 		// The FIN directly follows this data: retransmit it together.
@@ -367,6 +387,7 @@ func (c *Conn) onRetransmitTimeout() {
 	switch c.state {
 	case StateSynSent:
 		c.Stats.Timeouts++
+		c.obsRTO("syn-sent")
 		c.sndNxt = c.iss
 		c.sendSYN(false)
 		c.backoffRTO()
@@ -374,6 +395,7 @@ func (c *Conn) onRetransmitTimeout() {
 		return
 	case StateSynRcvd:
 		c.Stats.Timeouts++
+		c.obsRTO("syn-rcvd")
 		c.sndNxt = c.iss
 		c.sendSYN(true)
 		c.backoffRTO()
@@ -388,6 +410,7 @@ func (c *Conn) onRetransmitTimeout() {
 		return
 	}
 	c.Stats.Timeouts++
+	c.obsRTO("data")
 	c.ssthresh = max(c.flight()/2, 2*c.mss)
 	c.cwnd = c.mss
 	// Enter RTO-driven loss recovery (CA_Loss): returning ACKs clock out

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -105,7 +106,20 @@ type Stack struct {
 	Accepted  uint64
 	Connected uint64
 	RSTsSent  uint64
+
+	// obs receives retransmission/RTO events for every connection on this
+	// stack (nil = observability off; emissions are then no-ops).
+	obs *obs.Recorder
 }
+
+// SetRecorder attaches an event recorder to this stack: retransmissions
+// and retransmission timeouts on every connection are then reported as
+// structured events and counted in the hub's metrics registry. Pass nil
+// to detach. Safe to call at any time.
+func (s *Stack) SetRecorder(r *obs.Recorder) { s.obs = r }
+
+// Recorder returns the stack's recorder (nil when not observed).
+func (s *Stack) Recorder() *obs.Recorder { return s.obs }
 
 // NewStack attaches a TCP stack to a host.
 func NewStack(h *netsim.Host) *Stack {

@@ -1,0 +1,102 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// tinyRun runs a plain one-hop transfer with a capture at the router.
+// limit is assigned to cap.Limit before any packet flows (so 0 and
+// negative values exercise the default-limit path).
+func tinyRun(t *testing.T, seed int64, limit int) *trace.Capture {
+	t.Helper()
+	env := lab.NewEnv(seed)
+	link := netsim.LinkConfig{Delay: 100 * time.Microsecond}
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true})
+	env.Net.ComputeRoutes()
+	cap := trace.New(env.Eng, nil)
+	cap.Limit = limit
+	cap.Attach(env.Router)
+	server.Stack.Listen(80, func(c *tcp.Conn) {})
+	c := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	c.OnEstablished = func() { c.Send(make([]byte, 4096)) }
+	env.RunFor(time.Second)
+	return cap
+}
+
+// TestCaptureZeroLimitMeansDefault is the regression test for the
+// Limit-zero bug: a caller who resets Limit to 0 (or builds the field up
+// from a zero value) must get the documented 100k default, not a capture
+// that silently drops every record.
+func TestCaptureZeroLimitMeansDefault(t *testing.T) {
+	cap := tinyRun(t, 1, 0)
+	if cap.Count() == 0 {
+		t.Fatal("Limit=0 dropped every record; 0 must mean the default limit")
+	}
+	if cap.Truncated {
+		t.Fatal("Limit=0 marked the capture truncated")
+	}
+	neg := tinyRun(t, 1, -5)
+	if neg.Count() == 0 || neg.Truncated {
+		t.Fatal("negative Limit must also mean the default")
+	}
+}
+
+// TestCaptureLimitTruncates checks the documented limit behaviour: older
+// records kept, newer dropped, Truncated set.
+func TestCaptureLimitTruncates(t *testing.T) {
+	cap := tinyRun(t, 1, 5)
+	if cap.Count() != 5 {
+		t.Fatalf("stored %d records, limit 5", cap.Count())
+	}
+	if !cap.Truncated {
+		t.Fatal("Truncated must be set once the limit is hit")
+	}
+	if !strings.Contains(cap.Dump(), "truncated") {
+		t.Fatal("Dump must flag truncation")
+	}
+}
+
+// TestCaptureDumpJSON checks the JSON-lines export: every line one valid
+// object in the shared schema, byte-identical across same-seed runs.
+func TestCaptureDumpJSON(t *testing.T) {
+	dump := func() []byte {
+		cap := tinyRun(t, 3, 100_000)
+		var b bytes.Buffer
+		if err := cap.DumpJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	b1, b2 := dump(), dump()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same-seed JSON dumps differ")
+	}
+	lines := strings.Split(strings.TrimSpace(string(b1)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no JSON records")
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		for _, key := range []string{"time", "host", "dir", "tuple", "flags"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("record missing %q: %s", key, line)
+			}
+		}
+	}
+	if !strings.HasPrefix(lines[0], `{"time":`) {
+		t.Fatalf("shared schema must lead with time: %s", lines[0])
+	}
+}

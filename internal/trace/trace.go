@@ -7,8 +7,10 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"strings"
 
 	"repro/internal/netsim"
@@ -115,7 +117,14 @@ func (c *Capture) observe(host string, p *packet.Packet, dir netsim.Direction) {
 	if c.filter != nil && !c.filter(p) {
 		return
 	}
-	if len(c.recs) >= c.Limit {
+	// Treat a non-positive Limit as the documented default so a caller who
+	// zeroes the field (or builds a Capture literal) still captures — the
+	// old comparison made Limit 0 silently drop every record.
+	limit := c.Limit
+	if limit <= 0 {
+		limit = 100_000
+	}
+	if len(c.recs) >= limit {
 		c.Truncated = true
 		return
 	}
@@ -177,6 +186,56 @@ func (c *Capture) Hash() uint64 {
 		h.Write([]byte{'\n'})
 	}
 	return h.Sum64()
+}
+
+// recordJSON is the wire form of one record: the same conventions as the
+// obs event log (one JSON object per line; "time" in virtual nanoseconds;
+// "host"; five-tuples rendered by their String form) so one consumer can
+// join packet captures with structured events.
+type recordJSON struct {
+	Time  int64  `json:"time"`
+	Host  string `json:"host"`
+	Dir   string `json:"dir"`
+	Tuple string `json:"tuple"`
+	Flags string `json:"flags,omitempty"`
+	Seq   uint32 `json:"seq"`
+	Ack   uint32 `json:"ack"`
+	Len   int    `json:"len"`
+	Win   uint16 `json:"win"`
+	TS    bool   `json:"ts,omitempty"`
+	SACK  int    `json:"sack,omitempty"`
+}
+
+// MarshalJSON renders the record in the shared JSON-lines schema.
+func (r Record) MarshalJSON() ([]byte, error) {
+	j := recordJSON{
+		Time:  int64(r.Time),
+		Host:  r.Host,
+		Dir:   r.Dir.String(),
+		Tuple: r.Tuple.String(),
+		Seq:   r.Seq,
+		Ack:   r.Ack,
+		Len:   r.Len,
+		Win:   r.Window,
+		TS:    r.HasTS,
+		SACK:  r.SACKLen,
+	}
+	if r.Tuple.Proto == packet.ProtoTCP {
+		j.Flags = r.Flags.String()
+	}
+	return json.Marshal(j)
+}
+
+// DumpJSON writes the capture as JSON lines (one record object per line),
+// byte-identical across same-seed runs.
+func (c *Capture) DumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Dump renders the whole capture.

@@ -1,7 +1,9 @@
 #!/bin/sh
-# check.sh — the full pre-merge gate: build, vet, race-enabled tests, and
-# the repo's own static-analysis suite (cmd/dyscolint). Everything here
-# must pass before a change lands; CI and developers run the same script.
+# check.sh — the full pre-merge gate: build, vet, race-enabled tests, the
+# repo's own static-analysis suite (cmd/dyscolint), and the observability
+# micro-benchmark, whose metrics summary lands in BENCH_obs.json (CI
+# archives it as a workflow artifact). Everything here must pass before a
+# change lands; CI and developers run the same script.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +12,4 @@ go build ./...
 go vet ./...
 go test -race ./...
 go run ./cmd/dyscolint ./...
+go run ./cmd/dyscobench -short -obsout BENCH_obs.json
