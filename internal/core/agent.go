@@ -64,6 +64,23 @@ type Config struct {
 	// IdleTimeout garbage-collects session state with no traffic
 	// (default 5 min).
 	IdleTimeout sim.Time
+	// LockTimeout bounds how long a hop keeps a subsession locked without
+	// resolution. A requestor that crashes mid-lock (or whose cancelLock
+	// is lost, §3.6) would otherwise block every later reconfiguration of
+	// the segment forever; CollectIdle force-releases such locks. The
+	// timeout must exceed the longest legitimate reconfiguration
+	// (including the §3.5 two-path drain). Default 30 s; negative
+	// disables.
+	LockTimeout sim.Time
+	// AttemptTimeout bounds how long a right anchor keeps a
+	// reconfiguration attempt alive before the path switches. The right
+	// anchor only ever replies — it has no reliable send of its own to
+	// time out on — so a left anchor that aborts and loses its cancelLock
+	// (§3.6) would leave the right anchor's attempt pending forever.
+	// Once the attempt reaches the two-path phase it is exempt: the FIN
+	// retransmission guarantees progress. Default 10 s; negative
+	// disables.
+	AttemptTimeout sim.Time
 	// HeartbeatInterval, when positive, makes the agent send keepalive
 	// signals for idle sessions to its neighbors so good subsessions are
 	// not timed out (§2.1: "agents can use heartbeat signals to keep good
@@ -99,6 +116,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 30 * time.Second
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 10 * time.Second
 	}
 	if c.RewriteCost == 0 {
 		c.RewriteCost = 300 * time.Nanosecond
@@ -263,6 +286,38 @@ func (a *Agent) heartbeatTick() {
 func (a *Agent) gcTick() {
 	a.CollectIdle()
 	a.eng.Schedule(a.Cfg.GCInterval, a.gcTick)
+}
+
+// RestartDaemon models a crash and restart of the user-space
+// reconfiguration daemon: every in-flight attempt this host anchors is
+// lost (timers stopped, Reconfig detached without a state transition — a
+// crash does not step the machine), as is the daemon's control dedup
+// state. Kernel-side state — sessions, rewrite entries, and locks —
+// survives, mirroring the paper's kernel-module / user-daemon split
+// (§4.1). Locks orphaned by the crash are reclaimed by CollectIdle's
+// LockTimeout; peer anchors observe retransmission exhaustion and abort
+// (§3.6).
+func (a *Agent) RestartDaemon() {
+	old := a.daemon
+	ids := make([]uint64, 0, len(old.reconfigs))
+	for id := range old.reconfigs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rc := old.reconfigs[id]
+		rc.rtxTimer.Stop()
+		if rc.finTimer != nil {
+			rc.finTimer.Stop()
+		}
+		if rc.deadline != nil {
+			rc.deadline.Stop()
+		}
+		rc.lastMsg = nil
+		rc.Sess.Reconfig = nil
+	}
+	a.daemon = newDaemon(a)
+	a.Host.BindUDP(DaemonPort, a.daemon.handleUDP)
 }
 
 // Session returns the session record for the given session id (either
@@ -818,21 +873,33 @@ func (a *Agent) EachSubsession(fn func(dir string, from, to packet.FiveTuple, pk
 }
 
 // CollectIdle removes sessions idle longer than the configured timeout and
-// fully-closed sessions. Experiments call it periodically; the paper's
-// agents time out subsessions the same way (§2.1).
+// fully-closed sessions, and force-releases locks held past LockTimeout
+// (orphaned by a requestor crash or a lost cancelLock). Experiments call
+// it periodically; the paper's agents time out subsessions the same way
+// (§2.1). Visits sessions in sorted order (EachSession): removal and the
+// forced unlock emit events, so map order would leak into the event hash.
 func (a *Agent) CollectIdle() int {
 	n := 0
 	now := a.eng.Now()
-	for _, sess := range a.sessions {
+	a.EachSession(func(sess *Session) {
+		if sess.Reconfig == nil && a.Cfg.LockTimeout >= 0 &&
+			sess.Lock != Unlocked && now-sess.lockSince > a.Cfg.LockTimeout {
+			// Orphaned lock: no local anchor state references it and the
+			// holder has gone quiet for longer than any legitimate attempt
+			// runs. Release it and let blocked requests proceed.
+			sess.setLock(Unlocked)
+			a.daemon.processBlocked(sess)
+		}
 		if sess.Reconfig != nil {
-			continue
+			return
 		}
 		closed := sess.finSeen[0] && sess.finSeen[1] && now-sess.lastActive > time.Second
-		idle := now-sess.lastActive > a.Cfg.IdleTimeout
+		idle := now-sess.lastActive > a.Cfg.IdleTimeout &&
+			now-sess.lastKeepalive > a.Cfg.IdleTimeout
 		if closed || idle {
 			a.removeSession(sess)
 			n++
 		}
-	}
+	})
 	return n
 }

@@ -867,3 +867,54 @@ func TestSpliceErrorPaths(t *testing.T) {
 		t.Error("Splice with unknown session did not error")
 	}
 }
+
+// Satellite of the fault-injection work: §2.1 keepalives must distinguish
+// a dead peer from a merely-lossy path. With every link dropping 15%
+// of its packets, enough heartbeats still get through to keep the idle
+// session alive everywhere; when the middlebox host actually dies, the
+// client stops hearing anything for the session and collects it.
+func TestKeepaliveUnderLossVsDeadPeer(t *testing.T) {
+	run := func(killMbox bool) (clientSessions int) {
+		eng := sim.NewEngine(83)
+		n := netsim.New(eng)
+		cfg := Config{
+			IdleTimeout: 2 * time.Second, GCInterval: 500 * time.Millisecond,
+			HeartbeatInterval: 250 * time.Millisecond,
+		}
+		router := n.AddHost("router", packet.MakeAddr(10, 0, 0, 254))
+		router.Forwarding = true
+		hc := n.AddHost("c", packet.MakeAddr(10, 0, 0, 1))
+		hm := n.AddHost("m", packet.MakeAddr(10, 0, 0, 2))
+		hs := n.AddHost("s", packet.MakeAddr(10, 0, 0, 3))
+		for _, h := range []*netsim.Host{hc, hm, hs} {
+			n.Connect(h, router, netsim.LinkConfig{Delay: 100 * time.Microsecond})
+		}
+		n.ComputeRoutes()
+		sc := tcp.NewStack(hc)
+		ss := tcp.NewStack(hs)
+		ac := NewAgent(hc, cfg)
+		am := NewAgent(hm, cfg)
+		am.App = newCounterApp()
+		NewAgent(hs, cfg)
+		ac.Policy = func(p *packet.Packet) []packet.Addr { return []packet.Addr{hm.Addr} }
+		ss.Listen(80, func(c *tcp.Conn) {})
+		sc.Connect(hs.Addr, 80, tcp.Config{})
+		eng.Run(time.Second) // establish cleanly, then degrade
+		for _, h := range []*netsim.Host{hc, hm, hs, router} {
+			for _, l := range h.Links() {
+				l.SetLoss(0.15)
+			}
+		}
+		if killMbox {
+			hm.SetDown(true)
+		}
+		eng.Run(12 * time.Second)
+		return ac.Sessions()
+	}
+	if got := run(false); got != 1 {
+		t.Errorf("lossy but alive: client collected the session (%d left, want 1)", got)
+	}
+	if got := run(true); got != 0 {
+		t.Errorf("dead middlebox: client kept the session (%d left, want 0)", got)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file exports a read-only view of the control-plane vocabulary so
+// fault injectors (internal/fault) can classify daemon datagrams on the
+// wire — "drop the 2nd requestLock" — without core exposing its message
+// structs.
+
+// CtrlTypeNames returns the wire names of every control message type, in
+// protocol-value order ("trigger", "requestLock", …, "heartbeat").
+func CtrlTypeNames() []string {
+	types := make([]msgType, 0, len(msgNames))
+	for t := range msgNames {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = msgNames[t]
+	}
+	return out
+}
+
+// CtrlTypeName decodes a daemon UDP payload and returns its control
+// message type name, or "" when the payload is not a control message.
+func CtrlTypeName(payload []byte) string {
+	var m struct{ Type msgType }
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return ""
+	}
+	if _, ok := msgNames[m.Type]; !ok {
+		return ""
+	}
+	return m.Type.String()
+}

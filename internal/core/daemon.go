@@ -90,6 +90,12 @@ type daemon struct {
 	stateStaged map[uint64]*ctrlMsg
 	// stateImported dedups installs at the receiving middlebox.
 	stateImported map[uint64]bool
+	// doneReqs marks reconfigurations this daemon anchored that reached a
+	// final state. Late duplicates of their control messages (a
+	// retransmitted requestLock or oldPathFIN crossing the completion)
+	// must be ignored, not treated as a fresh request or a mid-path
+	// forwardable FIN.
+	doneReqs map[uint64]bool
 }
 
 func newDaemon(a *Agent) *daemon {
@@ -101,6 +107,7 @@ func newDaemon(a *Agent) *daemon {
 		newPathPrev:   make(map[uint64]packet.Addr),
 		stateStaged:   make(map[uint64]*ctrlMsg),
 		stateImported: make(map[uint64]bool),
+		doneReqs:      make(map[uint64]bool),
 	}
 }
 
@@ -162,10 +169,11 @@ func (d *daemon) handleUDP(p *packet.Packet) {
 	case msgStateReady:
 		d.onStateReady(&m)
 	case msgHeartbeat:
-		// A neighbor vouches for the session: refresh its idle clock
-		// (§2.1 keepalive).
+		// A neighbor vouches for the session (§2.1 keepalive). Refresh the
+		// keepalive clock only — not lastActive, which gates this hop's own
+		// heartbeat sending.
 		if sess := d.sessionByID(m.Session); sess != nil {
-			sess.lastActive = d.eng.Now()
+			sess.lastKeepalive = d.eng.Now()
 		}
 	}
 }
@@ -229,6 +237,7 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	if sess.Reconfig != nil && sess.Reconfig.State != RcDone && sess.Reconfig.State != RcFailed {
 		return fmt.Errorf("core: session %v already reconfiguring", sessID)
 	}
+	now := d.eng.Now() // before the guard: a call would kill the dataflow fact
 	if sess.Lock != Unlocked {
 		return fmt.Errorf("core: session %v segment is %v", sessID, sess.Lock)
 	}
@@ -240,6 +249,7 @@ func (d *daemon) startReconfig(sessID packet.FiveTuple, opt ReconfigOptions) err
 	reqID := uint64(a.Host.Addr)<<24 | d.nextReqID
 	sess.LockReqID = reqID
 	sess.Requestor = a.Host.Addr
+	sess.lockSince = now
 	sess.setLock(LockPending)
 	rc := &Reconfig{
 		ID:        reqID,
@@ -350,6 +360,23 @@ func (rc *Reconfig) ackReceived() {
 	rc.rtxTimer.Stop()
 }
 
+// onAttemptDeadline fires at a right anchor whose attempt never reached
+// the path switch: the left anchor went away (crash, or an aborting
+// cancelLock that was lost). Tear the staged new path down and fail
+// locally. A switched attempt is left alone — the oldPathFIN
+// retransmission drives it to completion.
+func (d *daemon) onAttemptDeadline(rc *Reconfig) {
+	if rc.State == RcDone || rc.State == RcFailed {
+		return
+	}
+	if rc.switched {
+		rc.deadline.Reset(d.a.Cfg.AttemptTimeout)
+		return
+	}
+	d.teardownNewPathEntries(rc)
+	d.failReconfig(rc)
+}
+
 // abortReconfig cancels a failed attempt: the session continues on the old
 // path and the locked subsessions are released with cancelLock (§3.6).
 func (d *daemon) abortReconfig(rc *Reconfig) {
@@ -395,6 +422,13 @@ func (d *daemon) failReconfig(rc *Reconfig) {
 // state: stop timers, detach from the session, report, unblock waiters.
 func (d *daemon) closeReconfig(rc *Reconfig, ok bool) {
 	rc.rtxTimer.Stop()
+	if rc.finTimer != nil {
+		rc.finTimer.Stop()
+	}
+	if rc.deadline != nil {
+		rc.deadline.Stop()
+	}
+	d.doneReqs[rc.ID] = true
 	rc.Sess.Reconfig = nil
 	took := d.eng.Now() - rc.started
 	if rc.IsLeft {
@@ -518,6 +552,7 @@ func (d *daemon) onReqLock(m *ctrlMsg) {
 		d.forwardReqLock(sess, m)
 		return
 	}
+	now := d.eng.Now() // before the guard: a call would kill the dataflow fact
 	if sess.Lock != Unlocked {
 		// Contention: block the request until our own resolves (§3.2).
 		for _, b := range sess.blocked {
@@ -532,6 +567,7 @@ func (d *daemon) onReqLock(m *ctrlMsg) {
 	// not disturb the conformance dataflow between guard and transition).
 	sess.LockReqID = m.ReqID
 	sess.Requestor = m.LeftAnchor
+	sess.lockSince = now
 	sess.setLock(LockPending)
 	d.forwardReqLock(sess, m)
 }
@@ -563,6 +599,9 @@ func (d *daemon) forwardReqLock(sess *Session, m *ctrlMsg) {
 // reqLockAtRightAnchor accepts the lock and becomes the right anchor.
 func (d *daemon) reqLockAtRightAnchor(m *ctrlMsg) {
 	a := d.a
+	if d.doneReqs[m.ReqID] {
+		return // stale duplicate of an attempt that already finished here
+	}
 	if rc, ok := d.reconfigs[m.ReqID]; ok {
 		// Retransmitted request: resend the ack.
 		d.replyAckLock(rc, m)
@@ -587,6 +626,10 @@ func (d *daemon) reqLockAtRightAnchor(m *ctrlMsg) {
 		started: d.eng.Now(),
 	}
 	rc.rtxTimer = sim.NewTimer(d.eng, func() { d.onCtrlTimeout(rc) })
+	if a.Cfg.AttemptTimeout >= 0 {
+		rc.deadline = sim.NewTimer(d.eng, func() { d.onAttemptDeadline(rc) })
+		rc.deadline.Reset(a.Cfg.AttemptTimeout)
+	}
 	sess.Reconfig = rc
 	d.reconfigs[rc.ID] = rc
 	a.Stats.LocksGranted++
@@ -953,14 +996,7 @@ func (d *daemon) checkOldPathDone(rc *Reconfig) {
 	}
 	if !rc.sentOldFIN && packet.SeqGEQ(rc.Sess.sentAckedHi, rc.oldSent) {
 		rc.sentOldFIN = true
-		fin := &ctrlMsg{Type: msgOldPathFIN, ReqID: rc.ID}
-		if rc.IsLeft {
-			fin.Session = rc.Sess.IDRight
-			d.send(rc.Sess.RightHost, fin)
-		} else {
-			fin.Session = rc.Sess.IDLeft
-			d.send(rc.Sess.LeftHost, fin)
-		}
+		d.sendOldPathFIN(rc)
 	}
 	recvDone := packet.SeqGEQ(rc.oldRcvdAcked, rc.oldRcvd) &&
 		((rc.hasFirstNew && rc.firstNewRcvd == rc.oldRcvd) || rc.rcvdOldFIN)
@@ -969,9 +1005,54 @@ func (d *daemon) checkOldPathDone(rc *Reconfig) {
 	}
 }
 
+// sendOldPathFIN transmits this anchor's UDP FIN and keeps retransmitting
+// it (bounded exponential backoff, then a steady capped interval) until the
+// attempt finalizes. The FIN is the only §3.5 message whose loss would
+// otherwise wedge both anchors in the two-path phase forever: there is no
+// reply to arm the ordinary reliable-send timer with, so it gets its own.
+func (d *daemon) sendOldPathFIN(rc *Reconfig) {
+	if rc.State != RcTwoPath {
+		return
+	}
+	fin := &ctrlMsg{Type: msgOldPathFIN, ReqID: rc.ID}
+	if rc.IsLeft {
+		fin.Session = rc.Sess.IDRight
+		d.send(rc.Sess.RightHost, fin)
+	} else {
+		fin.Session = rc.Sess.IDLeft
+		d.send(rc.Sess.LeftHost, fin)
+	}
+	if rc.finTimer == nil {
+		rc.finTimer = sim.NewTimer(d.eng, func() {
+			if rc.finRetries >= d.a.Cfg.MaxControlRetries {
+				// Nothing will ever answer: the peer anchor finalized while
+				// its own FIN toward us was lost (it now discards this ReqID
+				// as already handled), or the old path's mid-hop state is
+				// gone so our FIN can no longer be forwarded. The switch
+				// happened and our send side is fully acknowledged, so
+				// finalize rather than retransmit forever (P5).
+				d.finalizeAnchor(rc)
+				return
+			}
+			rc.finRetries++
+			d.a.Stats.CtrlRetransmits++
+			d.a.obs.Metrics().Add(obs.MCtrlRetransmits, 1)
+			d.sendOldPathFIN(rc)
+		})
+	}
+	backoff := rc.finRetries
+	if backoff > 6 {
+		backoff = 6
+	}
+	rc.finTimer.Reset(d.a.Cfg.ControlRTO * sim.Time(1<<uint(backoff)))
+}
+
 // onOldPathFIN handles the UDP FIN traversing the old path: mid agents
 // forward it and clean up; anchors complete.
 func (d *daemon) onOldPathFIN(m *ctrlMsg) {
+	if d.doneReqs[m.ReqID] {
+		return // retransmitted FIN racing our completion: already handled
+	}
 	if rc, ok := d.reconfigs[m.ReqID]; ok {
 		if !rc.switched {
 			// The peer anchor finished before our NewPathACK arrived (or

@@ -78,6 +78,11 @@ type Session struct {
 	LockReqID uint64
 	Requestor packet.Addr
 	blocked   []*ctrlMsg
+	// lockSince is the virtual time the current lock acquisition began
+	// (stamped when the hop enters LockPending). CollectIdle reclaims
+	// locks held past Config.LockTimeout: a requestor that crashed
+	// mid-lock, or a lost cancelLock, must not wedge the hop forever.
+	lockSince sim.Time
 
 	// MboxDeltas is this hop's contribution when it is deleted (§3.4):
 	// set by TCP-terminating proxies at splice time and by size-changing
@@ -121,8 +126,15 @@ type Session struct {
 	// finSeen tracks TCP FINs observed in each direction (0 = rightward)
 	// for garbage collection.
 	finSeen [2]bool
-	// lastActive is the virtual time of the last packet, for idle cleanup.
+	// lastActive is the virtual time of the last data-path packet. It
+	// gates both idle cleanup and heartbeat sending.
 	lastActive sim.Time
+	// lastKeepalive is the virtual time of the last heartbeat received
+	// for this session. Kept separate from lastActive: if receipt
+	// refreshed lastActive it would also suppress this hop's own
+	// heartbeats, and under loss the desynchronized refreshes let agents
+	// starve each other into collecting live sessions.
+	lastKeepalive sim.Time
 
 	// obs receives this session's structured events (lock/reconfig
 	// transitions, birth/close). Nil when the host is not being observed;
@@ -207,6 +219,13 @@ type Reconfig struct {
 
 	sentOldFIN bool
 	rcvdOldFIN bool
+	// finTimer retransmits this anchor's oldPathFIN until finalization
+	// (the FIN has no acknowledgment of its own; see sendOldPathFIN).
+	finTimer   *sim.Timer
+	finRetries int
+	// deadline bounds a right anchor's unswitched attempt (see
+	// onAttemptDeadline). Nil at left anchors.
+	deadline *sim.Timer
 
 	started  sim.Time
 	switchAt sim.Time

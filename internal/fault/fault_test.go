@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Builtins() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate plan name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	bad := Plan{Name: "bad", Ops: []Op{{Kind: OpLinkLoss, Host: "client", Prob: 1.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range probability validated")
+	}
+	crash := Plan{Name: "bad", Ops: []Op{{Kind: OpHostCrash, Host: "client"}}}
+	if err := crash.Validate(); err == nil {
+		t.Error("crash without a restart time validated")
+	}
+}
+
+// TestBaseline checks the no-fault plan satisfies every oracle on every
+// scenario: transfer complete and intact, reconfiguration done, all
+// sessions collected.
+func TestBaseline(t *testing.T) {
+	base, _ := PlanByName("baseline")
+	for _, sc := range Scenarios() {
+		r, err := Run(sc.Name, base, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if len(r.Violations) > 0 {
+			t.Errorf("%s: %v", sc.Name, r.Violations)
+		}
+		if r.ReconfigsDone == 0 {
+			t.Errorf("%s: no reconfiguration completed", sc.Name)
+		}
+	}
+}
+
+// TestSweep replays every scenario under every built-in plan. Benign
+// plans must let the reconfiguration succeed (P3); crash and blackhole
+// plans may abort it, but every run must keep the byte streams intact
+// (P2/P4) and drain all session, lock, and reconfiguration state (P5).
+func TestSweep(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = []int64{1}
+	}
+	res, err := RunSweep(SweepOptions{Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Runs {
+		for _, v := range r.Violations {
+			t.Errorf("%s/%s/seed=%d: %s", r.Scenario, r.Plan, r.Seed, v)
+		}
+	}
+}
+
+// TestDeterminism: the same (scenario, plan, seed) triple must reproduce
+// the identical fault schedule, merged event stream, and JSON rendering.
+func TestDeterminism(t *testing.T) {
+	plan, _ := PlanByName("crash-mid1")
+	for _, sc := range []string{"chain", "proxyremoval"} {
+		a, err := Run(sc, plan, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(sc, plan, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.EventHash != b.EventHash {
+			t.Errorf("%s: event hash diverged: %s vs %s", sc, a.EventHash, b.EventHash)
+		}
+		if a.ScheduleHash != b.ScheduleHash {
+			t.Errorf("%s: schedule hash diverged: %s vs %s", sc, a.ScheduleHash, b.ScheduleHash)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Errorf("%s: JSON rendering diverged", sc)
+		}
+	}
+	// Different seeds must explore different schedules for a
+	// probabilistic plan (otherwise the sweep is one run in disguise).
+	loss, _ := PlanByName("loss-burst")
+	a, err := Run("chain", loss, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("chain", loss, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EventHash == b.EventHash {
+		t.Error("seeds 1 and 2 produced identical event streams under loss")
+	}
+}
+
+// TestCtrlDropRecovery: dropping the first two requestLock datagrams and
+// delaying an ackLock must be absorbed by control retransmission — the
+// reconfiguration still completes and the drops are visible both in the
+// fault schedule and in the drop attribution counters.
+func TestCtrlDropRecovery(t *testing.T) {
+	plan, _ := PlanByName("ctrl-drop-reqlock")
+	r, err := Run("chain", plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) > 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.ReconfigsDone == 0 {
+		t.Error("reconfiguration did not complete despite retransmission")
+	}
+	if r.Drops["fault"] < 2 {
+		t.Errorf("fault drops = %d, want >= 2 (two requestLock drops)", r.Drops["fault"])
+	}
+	hits := 0
+	for _, line := range r.Schedule {
+		if len(line) > 0 {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("schedule records %d actions, want >= 2", hits)
+	}
+}
+
+// TestCrashRestartCleanup: a mid-reconfiguration daemon crash must not
+// wedge any hop — locks orphaned by the crashed requestor are reclaimed
+// and every session drains (the §4.1 restart path plus lock GC).
+func TestCrashRestartCleanup(t *testing.T) {
+	for _, planName := range []string{"crash-mid1", "crash-client"} {
+		plan, _ := PlanByName(planName)
+		for _, sc := range Scenarios() {
+			r, err := Run(sc.Name, plan, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Violations) > 0 {
+				t.Errorf("%s/%s: %v", sc.Name, planName, r.Violations)
+			}
+			if r.Drops["hostDown"] == 0 {
+				t.Errorf("%s/%s: crash window dropped nothing", sc.Name, planName)
+			}
+		}
+	}
+}
+
+// TestModelConformance: every fault-plan primitive must either map to a
+// fault class the exhaustive checker explores or be documented as
+// implementation-only. A new OpKind fails this test until its
+// relationship to internal/model is declared.
+func TestModelConformance(t *testing.T) {
+	modeled := map[string]bool{}
+	for _, f := range model.ModeledFaults() {
+		if f.Name == "" || f.Description == "" {
+			t.Errorf("modeled fault with empty name or description: %+v", f)
+		}
+		if modeled[f.Name] {
+			t.Errorf("duplicate modeled fault %q", f.Name)
+		}
+		modeled[f.Name] = true
+	}
+	covered := map[OpKind]bool{}
+	for _, c := range ModelCoverage() {
+		if covered[c.Op] {
+			t.Errorf("OpKind %v covered twice", c.Op)
+		}
+		covered[c.Op] = true
+		if c.Why == "" {
+			t.Errorf("%v: empty rationale", c.Op)
+		}
+		switch {
+		case c.ImplOnly && c.ModelFault != "":
+			t.Errorf("%v: both ImplOnly and ModelFault set", c.Op)
+		case !c.ImplOnly && c.ModelFault == "":
+			t.Errorf("%v: neither ImplOnly nor ModelFault set", c.Op)
+		case c.ModelFault != "" && !modeled[c.ModelFault]:
+			t.Errorf("%v: maps to unknown model fault %q", c.Op, c.ModelFault)
+		}
+	}
+	for _, k := range OpKinds() {
+		if !covered[k] {
+			t.Errorf("OpKind %v has no model-coverage entry", k)
+		}
+	}
+}
+
+// TestSkippedRoles: a plan naming a role the scenario does not populate
+// must skip the op deterministically, not fail the run.
+func TestSkippedRoles(t *testing.T) {
+	plan := Plan{Name: "mid2-only", Ops: []Op{
+		{Kind: OpLinkDown, Host: "mid2", At: 3 * ms, For: 2 * ms},
+	}}
+	// proxyremoval has no mid2 role.
+	r, err := Run("proxyremoval", plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) > 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if len(r.Schedule) != 1 {
+		t.Fatalf("schedule = %v, want exactly one skip line", r.Schedule)
+	}
+}

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// RunResult is the outcome of one (scenario, plan, seed) run. All fields
+// are deterministic functions of the triple; the JSON rendering is
+// byte-identical across runs.
+type RunResult struct {
+	Scenario string `json:"scenario"`
+	Plan     string `json:"plan"`
+	Seed     int64  `json:"seed"`
+
+	// EventHash is the obs hub's merged-stream hash; ScheduleHash covers
+	// the realized fault schedule. Together they witness determinism.
+	EventHash    string `json:"eventHash"`
+	ScheduleHash string `json:"scheduleHash"`
+
+	Events          uint64 `json:"events"`
+	BytesExpected   int    `json:"bytesExpected"`
+	BytesReceived   int    `json:"bytesReceived"`
+	ReconfigsDone   int    `json:"reconfigsDone"`
+	ReconfigsFailed int    `json:"reconfigsFailed"`
+
+	// Drops aggregates packet drops across every host and link end, by
+	// reason (queue, loss, linkDown, fault, hostDown, corrupt).
+	Drops map[string]uint64 `json:"drops"`
+
+	// Schedule is the realized fault schedule, one action per line.
+	Schedule []string `json:"schedule"`
+
+	// Violations lists every failed oracle; empty means the run is safe.
+	Violations []string `json:"violations"`
+}
+
+// Run replays one scenario under one fault plan with one seed and checks
+// the safety oracles:
+//
+//   - P2/P4: the server's reassembled byte stream equals the sent
+//     pattern exactly — no loss, duplication, or corruption survives to
+//     the application, whatever the plan injected.
+//   - P5 + no leaks: after the quiet period every agent's session table
+//     is empty. This subsumes "every lock is eventually released" and
+//     "no reconfiguration state outlives an abort": a held lock or a
+//     live *Reconfig keeps its session out of idle GC, so any leak
+//     shows up as a non-empty table.
+//   - P3: under a plan that cannot defeat the new path
+//     (!MayFailReconfig), at least one reconfiguration completes and
+//     none ends in failure. Plans that crash hosts or black-hole the
+//     control plane set MayFailReconfig: the attempt may abort (§3.6),
+//     but the abort must be clean per the oracles above.
+func Run(scenario string, plan Plan, seed int64) (*RunResult, error) {
+	sc, ok := ScenarioByName(scenario)
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown scenario %q", scenario)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+
+	inst := sc.build(seed)
+	hub := inst.env.Hub()
+	inj := NewInjector(inst.env.Eng, inst.env.Net, hub.Recorder("fault"), seed, plan, inst.targets)
+
+	inst.env.RunFor(inst.mainFor)
+
+	res := &RunResult{
+		Scenario:      sc.Name,
+		Plan:          plan.Name,
+		Seed:          seed,
+		EventHash:     fmt.Sprintf("%016x", hub.Hash()),
+		ScheduleHash:  fmt.Sprintf("%016x", inj.ScheduleHash()),
+		BytesExpected: inst.total,
+		Schedule:      inj.Applied(),
+		Violations:    []string{},
+		Drops:         map[string]uint64{},
+	}
+	res.Events = uint64(len(hub.Events()))
+
+	// Oracle: control-plane calls made by the scenario itself succeeded.
+	if *inst.ctlErr != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("control: StartReconfig failed: %v", *inst.ctlErr))
+	}
+	if *inst.sendErr != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("send: %v", *inst.sendErr))
+	}
+
+	// Oracle: byte-stream integrity (P2/P4).
+	want := pattern(inst.total)
+	got := *inst.got
+	res.BytesReceived = len(got)
+	if len(got) != len(want) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("bytes: received %d of %d", len(got), len(want)))
+	}
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("bytes: corruption at offset %d (got %#x want %#x)", i, got[i], want[i]))
+			break
+		}
+	}
+
+	// Oracle: every session terminated, every lock released, no
+	// reconfiguration state leaked (P5 and §3.6 cleanup).
+	roles := make([]string, 0, len(inst.targets))
+	for r := range inst.targets {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		t := inst.targets[r]
+		if t.Agent == nil {
+			continue
+		}
+		if n := t.Agent.Sessions(); n != 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("leak: %s still holds %d session(s) after quiet period", r, n))
+		}
+	}
+
+	// Oracle: reconfiguration outcome (P3). A reqID counts as done when
+	// any anchor reached "done"; as failed when some anchor reached
+	// "failed" and none reached "done".
+	done, failed := reconfigOutcomes(hub.Events())
+	res.ReconfigsDone = len(done)
+	for _, id := range failed {
+		if !done[id] {
+			res.ReconfigsFailed++
+			if !plan.MayFailReconfig {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("reconfig: attempt %d failed under a plan that cannot defeat the new path", id))
+			}
+		}
+	}
+	if !plan.MayFailReconfig && len(done) == 0 {
+		res.Violations = append(res.Violations, "reconfig: no attempt completed")
+	}
+
+	aggregateDrops(inst, res.Drops)
+	return res, nil
+}
+
+func reconfigOutcomes(events []obs.Event) (map[uint64]bool, []uint64) {
+	done := map[uint64]bool{}
+	failedSet := map[uint64]bool{}
+	for _, e := range events {
+		if e.Kind != obs.KReconfig || e.ReqID == 0 {
+			continue
+		}
+		switch e.To {
+		case "done":
+			done[e.ReqID] = true
+		case "failed":
+			failedSet[e.ReqID] = true
+		}
+	}
+	failed := make([]uint64, 0, len(failedSet))
+	for id := range failedSet {
+		failed = append(failed, id)
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	return done, failed
+}
+
+func aggregateDrops(inst *instance, drops map[string]uint64) {
+	for _, h := range inst.env.Net.Hosts() {
+		for _, le := range h.Links() {
+			ds := le.DropsByReason()
+			drops["queue"] += ds.Queue
+			drops["loss"] += ds.Loss
+			drops["linkDown"] += ds.LinkDown
+			drops["fault"] += ds.Fault
+		}
+		drops["hostDown"] += h.Stats.DropsHostDown
+		drops["corrupt"] += h.Stats.DropsCorrupt
+	}
+}
+
+// SweepOptions selects the (scenarios × plans × seeds) grid.
+type SweepOptions struct {
+	Scenarios []string // default: every scenario
+	Plans     []Plan   // default: Builtins()
+	Seeds     []int64  // default: 1..5
+}
+
+// SweepResult is the full grid outcome.
+type SweepResult struct {
+	Runs       []*RunResult `json:"runs"`
+	Violations int          `json:"violations"`
+}
+
+// RunSweep replays every (scenario, plan, seed) combination in
+// deterministic order and returns all results.
+func RunSweep(opt SweepOptions) (*SweepResult, error) {
+	if len(opt.Scenarios) == 0 {
+		for _, s := range Scenarios() {
+			opt.Scenarios = append(opt.Scenarios, s.Name)
+		}
+	}
+	if len(opt.Plans) == 0 {
+		opt.Plans = Builtins()
+	}
+	if len(opt.Seeds) == 0 {
+		opt.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+	out := &SweepResult{}
+	for _, sc := range opt.Scenarios {
+		for _, plan := range opt.Plans {
+			for _, seed := range opt.Seeds {
+				r, err := Run(sc, plan, seed)
+				if err != nil {
+					return nil, err
+				}
+				out.Runs = append(out.Runs, r)
+				out.Violations += len(r.Violations)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Target binds a scenario role to its simulated host.
+type Target struct {
+	Host *netsim.Host
+	// Agent, when non-nil, is restarted after an OpHostCrash window
+	// (the user-space daemon loses its reconfiguration state, §4.1).
+	Agent *core.Agent
+	// Via is the neighbor whose link pair is this role's access link
+	// (the router in the star testbeds, the peer on a direct link).
+	Via packet.Addr
+}
+
+// Injector schedules a Plan's operations on the virtual clock and
+// implements them against the network: link state, per-direction fault
+// hooks, host down windows, and daemon restarts. All randomness comes
+// from a rand.Rand seeded from (seed, plan name), so the fault schedule
+// is a pure function of the pair; Applied and ScheduleHash expose it.
+type Injector struct {
+	eng     *sim.Engine
+	net     *netsim.Network
+	rec     *obs.Recorder
+	plan    Plan
+	targets map[string]Target
+	roles   []string // sorted target roles, for deterministic install order
+
+	rng      *rand.Rand
+	active   []bool
+	ctrlSeen []int
+	// partA/partB are per-op partition group address sets (nil for
+	// non-partition ops).
+	partA, partB []map[packet.Addr]bool
+	applied      []string
+}
+
+// NewInjector installs the plan into the network. rec may be nil
+// (events are then discarded); the plan must already Validate.
+func NewInjector(eng *sim.Engine, net *netsim.Network, rec *obs.Recorder, seed int64, plan Plan, targets map[string]Target) *Injector {
+	in := &Injector{
+		eng:      eng,
+		net:      net,
+		rec:      rec,
+		plan:     plan,
+		targets:  targets,
+		rng:      rand.New(rand.NewSource(seed ^ int64(hashString(plan.Name)))),
+		active:   make([]bool, len(plan.Ops)),
+		ctrlSeen: make([]int, len(plan.Ops)),
+		partA:    make([]map[packet.Addr]bool, len(plan.Ops)),
+		partB:    make([]map[packet.Addr]bool, len(plan.Ops)),
+	}
+	for role := range targets {
+		in.roles = append(in.roles, role)
+	}
+	sort.Strings(in.roles)
+	in.install()
+	return in
+}
+
+// Applied returns the realized fault schedule, one line per action, in
+// virtual-time order.
+func (in *Injector) Applied() []string { return in.applied }
+
+// ScheduleHash is an FNV-1a hash of the realized schedule; two runs of
+// the same (seed, plan, scenario) must agree on it.
+func (in *Injector) ScheduleHash() uint64 {
+	h := fnv.New64a()
+	for _, line := range in.applied {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func (in *Injector) install() {
+	// One fault hook per access-link direction, shared by every op.
+	for _, role := range in.roles {
+		t := in.targets[role]
+		role := role
+		if out := t.Host.LinkTo(t.Via); out != nil {
+			out.SetFault(func(p *packet.Packet) netsim.FaultDecision {
+				return in.decide(role, "out", p)
+			})
+		}
+		if via := in.net.Host(t.Via); via != nil {
+			if inEnd := via.LinkTo(t.Host.Addr); inEnd != nil {
+				inEnd.SetFault(func(p *packet.Packet) netsim.FaultDecision {
+					return in.decide(role, "in", p)
+				})
+			}
+		}
+	}
+	for i, op := range in.plan.Ops {
+		i, op := i, op
+		switch op.Kind {
+		case OpPartition:
+			in.partA[i] = in.groupAddrs(op.A)
+			in.partB[i] = in.groupAddrs(op.B)
+			if len(in.partA[i]) == 0 || len(in.partB[i]) == 0 {
+				in.note("skip", op.Desc()+" (role group absent)")
+				continue
+			}
+		case OpCtrlDrop, OpCtrlDelay:
+			if op.Host != "" {
+				if _, ok := in.targets[op.Host]; !ok {
+					in.note("skip", op.Desc()+" (no such role)")
+					continue
+				}
+			}
+		case OpLinkDown, OpLinkLoss, OpLinkDup, OpLinkReorder,
+			OpLinkCorrupt, OpHostFreeze, OpHostCrash:
+			if _, ok := in.targets[op.Host]; !ok {
+				in.note("skip", op.Desc()+" (no such role)")
+				continue
+			}
+		}
+		in.eng.At(op.At, func() { in.activate(i) })
+		if op.For > 0 {
+			in.eng.At(op.At+op.For, func() { in.deactivate(i) })
+		}
+	}
+}
+
+func (in *Injector) groupAddrs(roles []string) map[packet.Addr]bool {
+	set := make(map[packet.Addr]bool)
+	for _, r := range roles {
+		if t, ok := in.targets[r]; ok {
+			set[t.Host.Addr] = true
+		}
+	}
+	return set
+}
+
+// accessEnds returns the role's access-link ends selected by dir.
+func (in *Injector) accessEnds(role, dir string) []*netsim.LinkEndInfo {
+	t := in.targets[role]
+	var ends []*netsim.LinkEndInfo
+	if dir == "" || dir == "out" {
+		if out := t.Host.LinkTo(t.Via); out != nil {
+			ends = append(ends, out)
+		}
+	}
+	if dir == "" || dir == "in" {
+		if via := in.net.Host(t.Via); via != nil {
+			if inEnd := via.LinkTo(t.Host.Addr); inEnd != nil {
+				ends = append(ends, inEnd)
+			}
+		}
+	}
+	return ends
+}
+
+func (in *Injector) activate(i int) {
+	op := in.plan.Ops[i]
+	in.active[i] = true
+	switch op.Kind {
+	case OpLinkDown:
+		for _, e := range in.accessEnds(op.Host, op.Dir) {
+			e.SetDown(true)
+		}
+	case OpHostFreeze, OpHostCrash:
+		in.targets[op.Host].Host.SetDown(true)
+	case OpLinkLoss, OpLinkDup, OpLinkReorder, OpLinkCorrupt,
+		OpPartition, OpCtrlDrop, OpCtrlDelay:
+		// Per-packet ops: decide() consults active[i] on every packet.
+	}
+	in.note("inject", op.Desc())
+}
+
+func (in *Injector) deactivate(i int) {
+	op := in.plan.Ops[i]
+	in.active[i] = false
+	switch op.Kind {
+	case OpLinkDown:
+		for _, e := range in.accessEnds(op.Host, op.Dir) {
+			e.SetDown(false)
+		}
+	case OpHostFreeze:
+		in.targets[op.Host].Host.SetDown(false)
+	case OpHostCrash:
+		t := in.targets[op.Host]
+		t.Host.SetDown(false)
+		if t.Agent != nil {
+			t.Agent.RestartDaemon()
+		}
+	case OpLinkLoss, OpLinkDup, OpLinkReorder, OpLinkCorrupt,
+		OpPartition, OpCtrlDrop, OpCtrlDelay:
+		// Per-packet ops: clearing active[i] is the whole deactivation.
+	}
+	in.note("clear", op.Desc())
+}
+
+// decide is the per-packet fault hook for one direction of a role's
+// access link. It consults every active op in declaration order, so the
+// random-draw sequence is a deterministic function of packet order.
+func (in *Injector) decide(role, dir string, p *packet.Packet) netsim.FaultDecision {
+	var d netsim.FaultDecision
+	for i := range in.plan.Ops {
+		if !in.active[i] {
+			continue
+		}
+		op := &in.plan.Ops[i]
+		switch op.Kind {
+		case OpLinkLoss, OpLinkDup, OpLinkReorder, OpLinkCorrupt:
+			if op.Host != role {
+				continue
+			}
+			if op.Dir != "" && op.Dir != dir {
+				continue
+			}
+			if in.rng.Float64() >= op.Prob {
+				continue
+			}
+			switch op.Kind {
+			case OpLinkLoss:
+				d.Drop = true
+			case OpLinkDup:
+				d.Duplicate = true
+			case OpLinkReorder:
+				d.ExtraDelay += op.Delay
+			case OpLinkCorrupt:
+				d.Corrupt = true
+			default:
+				panic(fmt.Sprintf("fault: %v is not a probabilistic link op", op.Kind))
+			}
+		case OpPartition:
+			// Match at the source's own out end so each packet is
+			// judged exactly once, before it reaches the router.
+			if dir != "out" {
+				continue
+			}
+			a, b := in.partA[i], in.partB[i]
+			srcA, srcB := roleIn(op.A, role), roleIn(op.B, role)
+			if (srcA && b[p.Tuple.DstIP]) || (srcB && a[p.Tuple.DstIP]) {
+				d.Drop = true
+			}
+		case OpCtrlDrop, OpCtrlDelay:
+			// Match each daemon datagram once: at its sender's out end.
+			if dir != "out" || p.Tuple.SrcIP != in.targets[role].Host.Addr {
+				continue
+			}
+			if op.Host != "" && op.Host != role {
+				continue
+			}
+			if !p.IsUDP() || p.Tuple.DstPort != core.DaemonPort {
+				continue
+			}
+			if core.CtrlTypeName(p.Payload) != op.Msg {
+				continue
+			}
+			in.ctrlSeen[i]++
+			if op.Nth != 0 && in.ctrlSeen[i] != op.Nth {
+				continue
+			}
+			in.note("inject", fmt.Sprintf("%s (hit #%d from %s)", op.Desc(), in.ctrlSeen[i], role))
+			if op.Kind == OpCtrlDrop {
+				d.Drop = true
+			} else {
+				d.ExtraDelay += op.Delay
+			}
+		case OpLinkDown, OpHostFreeze, OpHostCrash:
+			// Window-scoped: applied in activate/deactivate, not per
+			// packet (SetDown drops everything below this hook anyway).
+		}
+	}
+	return d
+}
+
+func roleIn(group []string, role string) bool {
+	for _, r := range group {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// note appends one line to the realized schedule and emits the
+// corresponding KFault event (action "inject", "clear", or "skip").
+func (in *Injector) note(action, desc string) {
+	in.applied = append(in.applied, fmt.Sprintf("%12v %-6s %s", in.eng.Now(), action, desc))
+	if action != "skip" {
+		in.rec.Emit(obs.Event{Kind: obs.KFault, Detail: desc, Dir: action})
+	}
+}

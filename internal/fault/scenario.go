@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/mbox"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Scenario is one end-to-end reconfiguration setup the harness replays
+// under a fault plan. Each mirrors a cmd/dyscotrace scenario, shrunk and
+// slowed (200 Mb/s access links, early reconfiguration) so fault windows
+// in the first ~100 ms of virtual time overlap the transfer and the
+// reconfiguration protocol exchange.
+type Scenario struct {
+	Name string
+	Desc string
+	// Roles this scenario populates; plan ops naming other roles skip.
+	Roles []string
+	build func(seed int64) *instance
+}
+
+// instance is one constructed run: the testbed plus the oracles' inputs.
+type instance struct {
+	env     *lab.Env
+	targets map[string]Target
+	total   int
+	got     *[]byte
+	sendErr *error
+	// ctlErr records a StartReconfig call that failed synchronously.
+	ctlErr *error
+	// mainFor is the virtual-time horizon; it includes the quiet period
+	// after the last fault clears, during which idle GC must drain
+	// every agent's session table.
+	mainFor sim.Time
+}
+
+// Scenarios returns the harness scenarios in sweep order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:  "proxyremoval",
+			Desc:  "TCP proxy splices itself out mid-transfer (§5.3); roles client, mid1, server",
+			Roles: []string{"client", "mid1", "server"},
+			build: buildProxyRemoval,
+		},
+		{
+			Name:  "chain",
+			Desc:  "monitor middlebox replaced mid-transfer; roles client, mid1, mid2, server",
+			Roles: []string{"client", "mid1", "mid2", "server"},
+			build: buildChain,
+		},
+		{
+			Name:  "statemigration",
+			Desc:  "stateful firewall replaced with state transfer (Fig. 15); roles client, mid1, mid2, server",
+			Roles: []string{"client", "mid1", "mid2", "server"},
+			build: buildStateMigration,
+		},
+	}
+}
+
+// ScenarioByName returns the named scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// harnessCfg is the agent configuration for every harness node. The
+// liveness timeouts are aggressive so the quiet period can observe full
+// cleanup: locks orphaned by a crashed requestor are reclaimed after
+// LockTimeout, a wedged right anchor aborts after AttemptTimeout, and
+// idle sessions are collected within IdleTimeout+GCInterval.
+func harnessCfg() core.Config {
+	return core.Config{
+		IdleTimeout:    2 * time.Second,
+		GCInterval:     500 * time.Millisecond,
+		LockTimeout:    1500 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+	}
+}
+
+func harnessLink() netsim.LinkConfig {
+	return netsim.LinkConfig{Delay: 100 * time.Microsecond, Bandwidth: netsim.Mbps(200)}
+}
+
+const runHorizon = 12 * time.Second
+
+// pattern is the deterministic transfer payload; the byte oracle
+// compares the server's reassembled stream against it (P2/P4).
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + 17)
+	}
+	return b
+}
+
+// maskPerPacket disables storage of per-packet event kinds so long lossy
+// runs stay within recorder limits; counters still accumulate.
+func maskPerPacket(hub *obs.Hub) {
+	for _, host := range hub.Hosts() {
+		hub.Recorder(host).Disable(obs.KRewrite, obs.KRetransmit, obs.KRTO)
+	}
+}
+
+func collectAt(server *lab.Node, port packet.Port) *[]byte {
+	got := new([]byte)
+	server.Stack.Listen(port, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { *got = append(*got, b...) }
+	})
+	return got
+}
+
+func target(n *lab.Node, router packet.Addr) Target {
+	return Target{Host: n.Host, Agent: n.Agent, Via: router}
+}
+
+func buildProxyRemoval(seed int64) *instance {
+	link, cfg := harnessLink(), harnessCfg()
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	proxyHost := env.AddNode("proxy", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, proxyHost)
+	maskPerPacket(env.Hub())
+
+	proxy := mbox.NewProxy(proxyHost.Stack, proxyHost.Agent, 80,
+		func(c *tcp.Conn) (packet.Addr, packet.Port) { return c.Tuple().SrcIP, 80 })
+	proxy.AutoSpliceAfter = 64 << 10
+
+	const total = 512 << 10
+	got := collectAt(server, 80)
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	sendErr := new(error)
+	conn.OnEstablished = func() { *sendErr = conn.Send(pattern(total)) }
+
+	return &instance{
+		env: env,
+		targets: map[string]Target{
+			"client": target(client, env.Router.Addr),
+			"mid1":   target(proxyHost, env.Router.Addr),
+			"server": target(server, env.Router.Addr),
+		},
+		total: total, got: got, sendErr: sendErr, ctlErr: new(error),
+		mainFor: runHorizon,
+	}
+}
+
+func buildChain(seed int64) *instance {
+	link, cfg := harnessLink(), harnessCfg()
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	mb1 := env.AddNode("mb1", lab.HostOptions{Link: link, App: mbox.NewMonitor(), AgentCfg: cfg})
+	mb2 := env.AddNode("mb2", lab.HostOptions{Link: link, App: mbox.NewMonitor(), AgentCfg: cfg})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, mb1)
+	maskPerPacket(env.Hub())
+
+	const total = 256 << 10
+	got := collectAt(server, 80)
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	sendErr := new(error)
+	conn.OnEstablished = func() { *sendErr = conn.Send(pattern(total)) }
+
+	ctlErr := new(error)
+	env.Eng.At(5*time.Millisecond, func() {
+		*ctlErr = client.Agent.StartReconfig(conn.Tuple(), core.ReconfigOptions{
+			RightAnchor:    server.Addr(),
+			NewMiddleboxes: []packet.Addr{mb2.Addr()},
+			OnDone:         func(bool, sim.Time) {},
+		})
+	})
+
+	return &instance{
+		env: env,
+		targets: map[string]Target{
+			"client": target(client, env.Router.Addr),
+			"mid1":   target(mb1, env.Router.Addr),
+			"mid2":   target(mb2, env.Router.Addr),
+			"server": target(server, env.Router.Addr),
+		},
+		total: total, got: got, sendErr: sendErr, ctlErr: ctlErr,
+		mainFor: runHorizon,
+	}
+}
+
+func buildStateMigration(seed int64) *instance {
+	link, cfg := harnessLink(), harnessCfg()
+	env := lab.NewEnv(seed)
+	env.Observe()
+	client := env.AddNode("client", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	fw1App := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	fw2App := mbox.NewFirewall(env.Eng, mbox.FirewallRule{DstPort: 80})
+	fw1 := env.AddNode("firewall1", lab.HostOptions{Link: link, App: fw1App, AgentCfg: cfg})
+	fw2 := env.AddNode("firewall2", lab.HostOptions{Link: link, App: fw2App, AgentCfg: cfg})
+	server := env.AddNode("server", lab.HostOptions{Link: link, Stack: true, Agent: true, AgentCfg: cfg})
+	env.Net.ComputeRoutes()
+	env.ChainPolicy(client, 80, fw1)
+	maskPerPacket(env.Hub())
+
+	const total = 256 << 10
+	got := collectAt(server, 80)
+	conn := client.Stack.Connect(server.Addr(), 80, tcp.Config{})
+	sendErr := new(error)
+	conn.OnEstablished = func() { *sendErr = conn.Send(pattern(total)) }
+
+	ctlErr := new(error)
+	env.Eng.At(5*time.Millisecond, func() {
+		*ctlErr = client.Agent.StartReconfig(conn.Tuple(), core.ReconfigOptions{
+			RightAnchor:    server.Addr(),
+			NewMiddleboxes: []packet.Addr{fw2.Addr()},
+			StateFrom:      fw1.Addr(),
+			StateTo:        fw2.Addr(),
+			OnDone:         func(bool, sim.Time) {},
+		})
+	})
+
+	return &instance{
+		env: env,
+		targets: map[string]Target{
+			"client": target(client, env.Router.Addr),
+			"mid1":   target(fw1, env.Router.Addr),
+			"mid2":   target(fw2, env.Router.Addr),
+			"server": target(server, env.Router.Addr),
+		},
+		total: total, got: got, sendErr: sendErr, ctlErr: ctlErr,
+		mainFor: runHorizon,
+	}
+}

@@ -17,6 +17,7 @@ var virtualClockPkgs = []string{
 	"internal/tcp",
 	"internal/mbox",
 	"internal/obs",
+	"internal/fault",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time. Duration

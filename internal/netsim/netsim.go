@@ -70,14 +70,57 @@ func Mbps(m float64) float64 { return m * 1e6 / 8 }
 
 const defaultQueueBytes = 512 << 10
 
+// DropStats attributes one link direction's losses by cause, so failure
+// experiments can tell congestion (queue overflow) from configured random
+// loss, administrative link-down periods, and injected faults.
+type DropStats struct {
+	// Queue counts drop-tail queue overflows (congestion).
+	Queue uint64
+	// Loss counts the configured per-packet random loss (LossProb).
+	Loss uint64
+	// LinkDown counts packets offered to a link that was down.
+	LinkDown uint64
+	// Fault counts drops demanded by an injected fault hook.
+	Fault uint64
+}
+
+// Total sums all drop causes.
+func (d DropStats) Total() uint64 { return d.Queue + d.Loss + d.LinkDown + d.Fault }
+
+// FaultDecision tells a link what an injected fault does to one packet.
+// The zero value passes the packet through untouched.
+type FaultDecision struct {
+	// Drop discards the packet (counted as a fault drop).
+	Drop bool
+	// Duplicate delivers an extra deep copy of the packet.
+	Duplicate bool
+	// Corrupt flips bits in the payload copy before delivery (the header
+	// stays routable, as with real transmission errors caught — or missed —
+	// by checksums).
+	Corrupt bool
+	// ExtraDelay adds one-way latency to this packet (reordering: delayed
+	// packets land behind later undelayed ones).
+	ExtraDelay sim.Time
+}
+
+// FaultHook inspects a packet entering one link direction and returns the
+// injected fault to apply. Hooks must be deterministic functions of the
+// packet and their own seeded randomness.
+type FaultHook func(p *packet.Packet) FaultDecision
+
 // linkEnd is one direction of a link: the transmit side at a host.
 type linkEnd struct {
 	cfg       LinkConfig
 	from, to  *Host
 	busyUntil sim.Time
 	queued    int // bytes accepted but not yet fully transmitted
-	// Drops counts packets lost to queue overflow or random loss.
-	Drops uint64
+	// down marks an administratively failed link direction: every packet
+	// offered while down is dropped (counted in drops.LinkDown).
+	down bool
+	// fault, when set, is consulted for every packet before queueing.
+	fault FaultHook
+	// drops attributes losses in this direction by cause.
+	drops DropStats
 }
 
 // CostModel is the per-packet CPU cost charged at a host. Costs are paid
@@ -153,6 +196,12 @@ type Counters struct {
 	DropsNoRoute,
 	DropsHook,
 	DropsNoHandler uint64
+	// DropsHostDown counts packets that arrived at (or were sent by) a host
+	// while it was down (frozen or crashed by fault injection).
+	DropsHostDown uint64
+	// DropsCorrupt counts packets discarded by receive-side checksum
+	// verification after in-flight corruption.
+	DropsCorrupt uint64
 }
 
 // Host is a machine in the simulated network: an end-host, a middlebox
@@ -169,6 +218,10 @@ type Host struct {
 	// Forwarding lets the host route packets not addressed to it.
 	Forwarding bool
 	Stats      Counters
+
+	// down marks the host frozen or crashed (fault injection): every packet
+	// it would send or receive is dropped until SetDown(false).
+	down bool
 
 	links    []*linkEnd
 	routes   map[packet.Addr]*linkEnd
@@ -347,6 +400,10 @@ func (h *Host) SendDirect(p *packet.Packet) {
 // transmit charges CPU and puts the packet on the wire toward its
 // destination.
 func (h *Host) transmit(p *packet.Packet, baseCost sim.Time) {
+	if h.down {
+		h.Stats.DropsHostDown++
+		return
+	}
 	cost := baseCost
 	if !h.ChecksumOffload {
 		cost += sim.Time(int64(h.Cost.ChecksumPerKB) * int64(p.Size()) / 1024)
@@ -399,13 +456,38 @@ func softwareChecksum(p *packet.Packet) uint16 {
 // send models the transmit queue and the wire for one link direction.
 func (le *linkEnd) send(p *packet.Packet, ready sim.Time) {
 	eng := le.from.Net.Eng
+	if le.down {
+		le.drops.LinkDown++
+		return
+	}
+	var extraDelay sim.Time
+	if le.fault != nil {
+		fd := le.fault(p)
+		if fd.Drop {
+			le.drops.Fault++
+			return
+		}
+		if fd.Duplicate {
+			// The copy takes an independent trip through the queue; a
+			// duplicate of a duplicate is not possible (the hook runs once).
+			dup := p.Clone()
+			saved := le.fault
+			le.fault = nil
+			le.send(dup, ready)
+			le.fault = saved
+		}
+		if fd.Corrupt {
+			corruptPayload(p)
+		}
+		extraDelay = fd.ExtraDelay
+	}
 	size := p.Size()
 	if le.cfg.LossProb > 0 && eng.Rand().Float64() < le.cfg.LossProb {
-		le.Drops++
+		le.drops.Loss++
 		return
 	}
 	if le.queued+size > le.cfg.QueueBytes {
-		le.Drops++
+		le.drops.Queue++
 		return
 	}
 	start := ready
@@ -418,7 +500,7 @@ func (le *linkEnd) send(p *packet.Packet, ready sim.Time) {
 	}
 	le.busyUntil = start + tx
 	le.queued += size
-	deliverAt := le.busyUntil + le.cfg.Delay
+	deliverAt := le.busyUntil + le.cfg.Delay + extraDelay
 	dst := le.to
 	from := le.from.Addr
 	endOfTx := le.busyUntil
@@ -429,15 +511,40 @@ func (le *linkEnd) send(p *packet.Packet, ready sim.Time) {
 	})
 }
 
+// corruptPayload flips one bit per 64 payload bytes (at least one). A
+// corrupted TCP segment still parses — the damage is to the bytes the
+// application-level integrity oracles verify, and to the checksum when
+// software checksumming is modeled.
+func corruptPayload(p *packet.Packet) {
+	p.Corrupted = true
+	if len(p.Payload) == 0 {
+		return
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	for i := 0; i < len(p.Payload); i += 64 {
+		p.Payload[i] ^= 0x80
+	}
+}
+
 // receive handles a packet arriving from the wire.
 func (h *Host) receive(p *packet.Packet) {
+	if h.down {
+		h.Stats.DropsHostDown++
+		return
+	}
+	if p.Corrupted {
+		// Checksum verification (hardware offload or software) detects the
+		// in-flight damage and discards the segment; the sender's
+		// retransmission machinery recovers, so applications never see the
+		// corrupt bytes.
+		h.Stats.DropsCorrupt++
+		return
+	}
 	h.Stats.PacketsIn++
 	h.Stats.BytesIn += uint64(p.Size())
 	cost := h.Cost.RecvPacket
 	if !h.ChecksumOffload {
 		cost += sim.Time(int64(h.Cost.ChecksumPerKB) * int64(p.Size()) / 1024)
-		// A real stack verifies here; corruption is not modeled on links,
-		// so verification succeeds by construction.
 	}
 	done := h.CPU.Acquire(cost)
 	h.Net.Eng.At(done, func() { h.process(p) })
@@ -523,14 +630,43 @@ func (h *Host) LinkTo(a packet.Addr) *LinkEndInfo {
 	return nil
 }
 
+// Links returns this host's transmit link ends in connection order.
+// Exposed for fault injectors that install hooks on every direction.
+func (h *Host) Links() []*LinkEndInfo {
+	out := make([]*LinkEndInfo, len(h.links))
+	for i, l := range h.links {
+		out[i] = &LinkEndInfo{le: l}
+	}
+	return out
+}
+
+// SetDown freezes or unfreezes the host. While down, every packet the host
+// would send or receive is dropped (counted in DropsHostDown). Timers and
+// application state are untouched — a frozen host resumes where it left
+// off, a crash is modeled by the caller additionally resetting state.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is currently down.
+func (h *Host) Down() bool { return h.down }
+
 // LinkEndInfo is a read-mostly view over one link direction.
 type LinkEndInfo struct{ le *linkEnd }
 
-// Drops returns packets dropped at this link end.
-func (i *LinkEndInfo) Drops() uint64 { return i.le.Drops }
+// Drops returns the total packets dropped at this link end, all reasons
+// combined (see DropsByReason for attribution).
+func (i *LinkEndInfo) Drops() uint64 { return i.le.drops.Total() }
+
+// DropsByReason returns the per-reason drop counters for this link end.
+func (i *LinkEndInfo) DropsByReason() DropStats { return i.le.drops }
 
 // QueuedBytes returns bytes currently in the transmit queue.
 func (i *LinkEndInfo) QueuedBytes() int { return i.le.queued }
+
+// From returns the transmitting host's address.
+func (i *LinkEndInfo) From() packet.Addr { return i.le.from.Addr }
+
+// To returns the receiving host's address.
+func (i *LinkEndInfo) To() packet.Addr { return i.le.to.Addr }
 
 // SetLoss changes the random loss probability at runtime (used by failure
 // injection tests).
@@ -538,3 +674,15 @@ func (i *LinkEndInfo) SetLoss(p float64) { i.le.cfg.LossProb = p }
 
 // SetBandwidth changes the link rate at runtime (bytes/second, 0=infinite).
 func (i *LinkEndInfo) SetBandwidth(bps float64) { i.le.cfg.Bandwidth = bps }
+
+// SetDown changes the link direction's up/down state. While down every
+// packet offered to this direction is dropped (counted in LinkDown).
+func (i *LinkEndInfo) SetDown(down bool) { i.le.down = down }
+
+// IsDown reports whether this link direction is down.
+func (i *LinkEndInfo) IsDown() bool { return i.le.down }
+
+// SetFault installs (or clears, with nil) the per-packet fault hook for
+// this link direction. The hook runs before loss and queue admission on
+// every packet offered to the link.
+func (i *LinkEndInfo) SetFault(fn FaultHook) { i.le.fault = fn }

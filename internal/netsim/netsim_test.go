@@ -328,3 +328,110 @@ func TestForwardedPacketsTraverseEgressHooks(t *testing.T) {
 		t.Fatalf("egress hook on forwarded packet: seen=%d delivered=%v", seen, got)
 	}
 }
+
+func TestDropAttribution(t *testing.T) {
+	// Each drop lands in exactly one per-reason counter, and the legacy
+	// Drops() total is the sum of them.
+	eng, _, a, b := twoHosts(t, LinkConfig{Bandwidth: 1000, QueueBytes: 200})
+	delivered := 0
+	b.BindUDP(9000, func(p *packet.Packet) { delivered++ })
+	link := a.LinkTo(b.Addr)
+
+	// Queue-full drops: burst past the 200-byte queue.
+	for i := 0; i < 5; i++ {
+		a.Send(udpTo(b, a, 9000, make([]byte, 50))) // 78 bytes each
+	}
+	eng.RunUntilIdle()
+	ds := link.DropsByReason()
+	if ds.Queue == 0 || ds.Loss != 0 || ds.LinkDown != 0 || ds.Fault != 0 {
+		t.Fatalf("after burst: %+v, want only Queue drops", ds)
+	}
+
+	// Link-down drops.
+	link.SetDown(true)
+	a.Send(udpTo(b, a, 9000, []byte("x")))
+	eng.RunUntilIdle()
+	link.SetDown(false)
+	if got := link.DropsByReason().LinkDown; got != 1 {
+		t.Fatalf("LinkDown = %d, want 1", got)
+	}
+
+	// Fault-hook drops.
+	link.SetFault(func(p *packet.Packet) FaultDecision { return FaultDecision{Drop: true} })
+	a.Send(udpTo(b, a, 9000, []byte("x")))
+	eng.RunUntilIdle()
+	link.SetFault(nil)
+	if got := link.DropsByReason().Fault; got != 1 {
+		t.Fatalf("Fault = %d, want 1", got)
+	}
+
+	// Random-loss drops.
+	link.SetLoss(1.0)
+	a.Send(udpTo(b, a, 9000, []byte("x")))
+	eng.RunUntilIdle()
+	link.SetLoss(0)
+	if got := link.DropsByReason().Loss; got != 1 {
+		t.Fatalf("Loss = %d, want 1", got)
+	}
+
+	ds = link.DropsByReason()
+	if link.Drops() != ds.Total() || ds.Total() != ds.Queue+ds.Loss+ds.LinkDown+ds.Fault {
+		t.Errorf("Drops()=%d inconsistent with %+v", link.Drops(), ds)
+	}
+}
+
+func TestFaultHookDuplicateAndCorrupt(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{Delay: time.Millisecond})
+	delivered := 0
+	b.BindUDP(9000, func(p *packet.Packet) { delivered++ })
+	link := a.LinkTo(b.Addr)
+
+	// Duplicate: one send, two deliveries, no recursion beyond one copy.
+	link.SetFault(func(p *packet.Packet) FaultDecision { return FaultDecision{Duplicate: true} })
+	a.Send(udpTo(b, a, 9000, []byte("dup")))
+	eng.RunUntilIdle()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d after duplicate fault, want 2", delivered)
+	}
+
+	// Corrupt: the receiver's checksum check discards the packet, so the
+	// application never sees damaged bytes.
+	delivered = 0
+	link.SetFault(func(p *packet.Packet) FaultDecision { return FaultDecision{Corrupt: true} })
+	a.Send(udpTo(b, a, 9000, []byte("corrupt-me")))
+	eng.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d after corrupt fault, want 0", delivered)
+	}
+	if b.Stats.DropsCorrupt != 1 {
+		t.Errorf("DropsCorrupt = %d, want 1", b.Stats.DropsCorrupt)
+	}
+}
+
+func TestHostDown(t *testing.T) {
+	eng, _, a, b := twoHosts(t, LinkConfig{Delay: time.Millisecond})
+	delivered := 0
+	b.BindUDP(9000, func(p *packet.Packet) { delivered++ })
+
+	b.SetDown(true)
+	a.Send(udpTo(b, a, 9000, []byte("to-down-host")))
+	eng.RunUntilIdle()
+	if delivered != 0 || b.Stats.DropsHostDown != 1 {
+		t.Fatalf("delivered=%d DropsHostDown=%d, want 0/1", delivered, b.Stats.DropsHostDown)
+	}
+
+	a.SetDown(true)
+	a.Send(udpTo(b, a, 9000, []byte("from-down-host")))
+	eng.RunUntilIdle()
+	if a.Stats.DropsHostDown != 1 {
+		t.Fatalf("sender DropsHostDown=%d, want 1", a.Stats.DropsHostDown)
+	}
+
+	a.SetDown(false)
+	b.SetDown(false)
+	a.Send(udpTo(b, a, 9000, []byte("back-up")))
+	eng.RunUntilIdle()
+	if delivered != 1 {
+		t.Errorf("delivered=%d after hosts back up, want 1", delivered)
+	}
+}

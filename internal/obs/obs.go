@@ -53,10 +53,13 @@ const (
 	KRetransmit
 	// KRTO is a TCP retransmission-timeout firing.
 	KRTO
+	// KFault is an injected fault taking effect (internal/fault); Detail
+	// names the fault operation, Dir is "inject" or "clear".
+	KFault
 )
 
 // kindCount is the number of declared kinds.
-const kindCount = int(KRTO)
+const kindCount = int(KFault)
 
 func (k Kind) String() string {
 	switch k {
@@ -76,6 +79,8 @@ func (k Kind) String() string {
 		return "retransmit"
 	case KRTO:
 		return "rto"
+	case KFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -65,6 +65,11 @@ type Packet struct {
 	// switches use it to emulate in-port matching.
 	ArrivedFrom Addr
 
+	// Corrupted is simulator metadata: a fault injector damaged the payload
+	// in flight. The receiving host's checksum verification detects it and
+	// drops the packet, as real hardware/software checksumming would.
+	Corrupted bool
+
 	// Checksum is the transport checksum as carried on the wire. The
 	// simulator computes it on transmit unless the sending NIC models
 	// checksum offload, in which case it is filled with the correct value

@@ -1,9 +1,11 @@
 #!/bin/sh
 # check.sh — the full pre-merge gate: build, vet, race-enabled tests, the
-# repo's own static-analysis suite (cmd/dyscolint), and the observability
-# micro-benchmark, whose metrics summary lands in BENCH_obs.json (CI
-# archives it as a workflow artifact). Everything here must pass before a
-# change lands; CI and developers run the same script.
+# repo's own static-analysis suite (cmd/dyscolint), the observability
+# micro-benchmark, and the fault-injection safety sweep. The benchmark's
+# metrics summary lands in BENCH_obs.json and the sweep's per-run results
+# (event/schedule hashes, oracles) in FAULT_sweep.json; CI archives both
+# as workflow artifacts. Everything here must pass before a change lands;
+# CI and developers run the same script.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,3 +15,4 @@ go vet ./...
 go test -race ./...
 go run ./cmd/dyscolint ./...
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
+go run ./cmd/dyscofault -short -json FAULT_sweep.json
