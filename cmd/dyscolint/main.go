@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	dyscolint [-rules walltime,seqarith,...] [-json] [-fsm] [packages]
+//	dyscolint [-rules walltime,seqarith,...] [-json] [-fsm] [-callgraph] [packages]
 //
 // The only package patterns supported are "./..." (the whole module, the
 // default) and directory paths relative to the module root. -json switches
-// the report to a machine-readable array; -fsm prints the statically
-// extracted state machines instead of running the analyzers.
+// the report to a machine-readable array (interprocedural findings carry a
+// "chain" field: the call path from the hot-path root to the finding);
+// -fsm prints the statically extracted state machines and -callgraph the
+// RTA call graph instead of running the analyzers.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list available rules and exit")
 	asJSON := flag.Bool("json", false, "emit findings as JSON")
 	fsm := flag.Bool("fsm", false, "print the extracted state machines and exit")
+	callgraph := flag.Bool("callgraph", false, "print the module call graph and exit")
 	flag.Parse()
 
 	if *list {
@@ -83,6 +86,11 @@ func main() {
 		}
 	}
 
+	if *callgraph {
+		fmt.Print(lint.FormatCallGraph(lint.BuildCallGraph(pkgs), nil))
+		return
+	}
+
 	if *fsm {
 		fsms, finds := lint.ExtractFSMs(pkgs, lint.DefaultFSMSpecs())
 		fmt.Print(lint.FormatFSMs(fsms))
@@ -103,16 +111,17 @@ func main() {
 	}
 	if *asJSON {
 		type jsonFinding struct {
-			Rule string `json:"rule"`
-			File string `json:"file"`
-			Line int    `json:"line"`
-			Col  int    `json:"col"`
-			Msg  string `json:"msg"`
+			Rule  string   `json:"rule"`
+			File  string   `json:"file"`
+			Line  int      `json:"line"`
+			Col   int      `json:"col"`
+			Msg   string   `json:"msg"`
+			Chain []string `json:"chain,omitempty"`
 		}
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
-				Rule: f.Rule, File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Msg: f.Msg,
+				Rule: f.Rule, File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Msg: f.Msg, Chain: f.Chain,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)

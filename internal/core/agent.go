@@ -559,6 +559,9 @@ func (e *rewriteEntry) sessID() packet.FiveTuple {
 	return packet.FiveTuple{}
 }
 
+// chargeRewrite bills the configured per-rewrite CPU cost to the host.
+//
+//lint:coldpath simulation cost model, not data plane: runs only when Cfg.RewriteCost > 0, which the zero-alloc benchmarks and real fast-path configs leave at 0
 func (a *Agent) chargeRewrite() {
 	if a.Cfg.RewriteCost > 0 {
 		done := a.Host.CPU.Acquire(a.Cfg.RewriteCost)

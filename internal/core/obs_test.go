@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/packet"
 )
@@ -94,5 +95,106 @@ func TestEachSubsession(t *testing.T) {
 	})
 	if saw != 1 {
 		t.Fatalf("EachSubsession visited %d entries", saw)
+	}
+}
+
+// TestHotpathHelpersZeroAlloc pins the packet-layer and obs-layer members
+// of the statically proven hot-path root set (internal/lint's allocfree
+// rule) at zero allocations per call. Core's own roots are covered by
+// TestRewritePathZeroAlloc above and tcp's by TestTCPFastPathZeroAlloc;
+// TestHotpathRootsCoverage ties the three tests to the declared root list.
+func TestHotpathHelpersZeroAlloc(t *testing.T) {
+	env := newBenchEnv(3)
+	ft := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+	p := packet.NewTCP(ft, packet.FlagACK|packet.FlagPSH, 100, 200, make([]byte, 64))
+	nt := packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6, Proto: packet.ProtoTCP}
+
+	var nilRec *obs.Recorder
+	hub := obs.NewHub(env.eng)
+	disabled := hub.Recorder("helper-test")
+	disabled.Disable(obs.KRewrite)
+	ev := obs.Event{Kind: obs.KRewrite, Sess: ft, Dir: "egress", Bytes: 64}
+
+	kernels := []struct {
+		name string
+		fn   func()
+	}{
+		{"packet.SeqAdd", func() { _ = packet.SeqAdd(100, 50) }},
+		{"packet.SeqDiff", func() { _ = packet.SeqDiff(100, 200) }},
+		{"packet.SeqLT", func() { _ = packet.SeqLT(100, 200) }},
+		{"packet.SeqLEQ", func() { _ = packet.SeqLEQ(100, 200) }},
+		{"packet.SeqGT", func() { _ = packet.SeqGT(100, 200) }},
+		{"packet.SeqGEQ", func() { _ = packet.SeqGEQ(100, 200) }},
+		{"packet.SeqMax", func() { _ = packet.SeqMax(100, 200) }},
+		{"packet.SeqMin", func() { _ = packet.SeqMin(100, 200) }},
+		{"packet.ChecksumUpdate16", func() { _ = packet.ChecksumUpdate16(0x1234, 1, 2) }},
+		{"packet.ChecksumUpdate32", func() { _ = packet.ChecksumUpdate32(0x1234, 1, 2) }},
+		{"packet.FiveTuple.Reverse", func() { _ = ft.Reverse() }},
+		{"packet.Packet.DataLen", func() { _ = p.DataLen() }},
+		{"packet.Packet.SeqEnd", func() { _ = p.SeqEnd() }},
+		{"packet.Packet.RewriteTuple", func() { p.RewriteTuple(nt) }},
+		{"packet.Packet.RewriteSeqAck", func() { p.RewriteSeqAck(300, 400) }},
+		{"packet.TCPFlags.Has", func() { _ = p.Flags.Has(packet.FlagACK) }},
+		{"obs.Recorder.Emit(nil)", func() { nilRec.Emit(ev) }},
+		{"obs.Recorder.Emit(disabled)", func() { disabled.Emit(ev) }},
+	}
+	for _, k := range kernels {
+		if n := testing.AllocsPerRun(200, k.fn); n != 0 {
+			t.Errorf("%s: %.1f allocs/run, want 0", k.name, n)
+		}
+	}
+}
+
+// TestHotpathRootsCoverage pins the static proof and the dynamic
+// measurements to the same function set: every root the allocfree rule
+// proves allocation-free must be exercised by an AllocsPerRun test, and
+// every entry of this coverage map must still be a declared root. Adding
+// a root without a dynamic test (or retiring one without pruning the
+// map) fails here.
+func TestHotpathRootsCoverage(t *testing.T) {
+	covered := map[string]string{
+		"internal/core.Agent.applyEgress":         "TestRewritePathZeroAlloc",
+		"internal/core.Agent.applyIngress":        "TestRewritePathZeroAlloc",
+		"internal/packet.SeqAdd":                  "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqDiff":                 "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqLT":                   "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqLEQ":                  "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqGT":                   "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqGEQ":                  "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqMax":                  "TestHotpathHelpersZeroAlloc",
+		"internal/packet.SeqMin":                  "TestHotpathHelpersZeroAlloc",
+		"internal/packet.ChecksumUpdate16":        "TestHotpathHelpersZeroAlloc",
+		"internal/packet.ChecksumUpdate32":        "TestHotpathHelpersZeroAlloc",
+		"internal/packet.FiveTuple.Reverse":       "TestHotpathHelpersZeroAlloc",
+		"internal/packet.Packet.DataLen":          "TestHotpathHelpersZeroAlloc",
+		"internal/packet.Packet.SeqEnd":           "TestHotpathHelpersZeroAlloc",
+		"internal/packet.Packet.RewriteTuple":     "TestHotpathHelpersZeroAlloc",
+		"internal/packet.Packet.RewriteSeqAck":    "TestHotpathHelpersZeroAlloc",
+		"internal/packet.TCPFlags.Has":            "TestHotpathHelpersZeroAlloc",
+		"internal/obs.Recorder.Emit":              "TestHotpathHelpersZeroAlloc",
+		"internal/tcp.Conn.flight":                "TestTCPFastPathZeroAlloc",
+		"internal/tcp.Conn.sendWindow":            "TestTCPFastPathZeroAlloc",
+		"internal/tcp.Conn.recvWindow":            "TestTCPFastPathZeroAlloc",
+		"internal/tcp.Conn.advertisedWindow":      "TestTCPFastPathZeroAlloc",
+		"internal/tcp.Conn.sampleRTT":             "TestTCPFastPathZeroAlloc",
+		"internal/tcp.Conn.backoffRTO":            "TestTCPFastPathZeroAlloc",
+		"internal/tcp.sackScoreboard.isSacked":    "TestTCPFastPathZeroAlloc",
+		"internal/tcp.sackScoreboard.sackedAbove": "TestTCPFastPathZeroAlloc",
+		"internal/tcp.sackScoreboard.firstHole":   "TestTCPFastPathZeroAlloc",
+	}
+	roots := lint.DefaultHotpathRoots()
+	for _, r := range roots {
+		if covered[r] == "" {
+			t.Errorf("hot-path root %s has no dynamic AllocsPerRun test", r)
+		}
+	}
+	rootSet := map[string]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	for r, test := range covered {
+		if !rootSet[r] {
+			t.Errorf("coverage map entry %s (%s) is not a declared root; prune it", r, test)
+		}
 	}
 }

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Allocfree fixtures must live under the real module path ("repro/..."):
+// the rule treats any call that leaves the module as unprovable, so a
+// fixture with a foreign path would flag its own helpers.
+const hotFixturePkg = "repro/fixture/internal/hot"
+
+func TestAllocfreeFlagsEveryAllocationClass(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+type point struct{ x, y int }
+
+//lint:hotpath
+func root(m map[int]int, xs []int, s string, n int) {
+	_ = make([]int, n)      // make
+	_ = new(int)            // new
+	p := &point{}           // escaping composite literal
+	_ = p
+	_ = []int{1, 2}         // slice literal
+	xs = append(xs, n)      // append
+	_ = s + "x"             // concatenation
+	_ = []byte(s)           // string->slice conversion
+	m[n] = n                // map write
+	var i interface{} = n   // boxing
+	_ = i
+}
+`)
+	wantFindings(t, got, "allocfree",
+		"make allocates",
+		"new allocates",
+		"address of composite literal escapes",
+		"slice literal allocates",
+		"append may grow",
+		"string concatenation allocates",
+		"conversion between string and byte/rune slice",
+		"map assignment may allocate",
+		"declaration boxes a non-pointer value",
+	)
+}
+
+func TestAllocfreeChainsThroughTransitiveCalls(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+//lint:hotpath
+func root() { helper() }
+
+func helper() { _ = make([]int, 1) }
+`)
+	wantFindings(t, got, "allocfree", "make allocates")
+	wantChain := []string{"hot.root", "hot.helper"}
+	if !reflect.DeepEqual(got[0].Chain, wantChain) {
+		t.Errorf("chain = %v, want %v", got[0].Chain, wantChain)
+	}
+	if !strings.HasPrefix(got[0].Msg, "hot.root → hot.helper: ") {
+		t.Errorf("message does not render the chain: %q", got[0].Msg)
+	}
+}
+
+func TestAllocfreeFlagsUnprovableCalls(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+import "strings"
+
+type ext interface{ do() }
+
+//lint:hotpath
+func root(s string, f func(), e ext) {
+	_ = strings.TrimSpace(s) // out of module
+	f()                      // dynamic
+	e.do()                   // no live implementation
+}
+`)
+	wantFindings(t, got, "allocfree",
+		"call into strings.TrimSpace cannot be proven allocation-free",
+		"call through a function value cannot be proven allocation-free",
+		"interface method call resolves to no loaded implementation",
+	)
+}
+
+func TestAllocfreeFollowsResolvedIfaceCalls(t *testing.T) {
+	// A resolved interface call is not flagged — and its implementation
+	// joins the region, so an allocation inside it is.
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+type ok interface{ do() }
+
+type impl struct{}
+
+func (impl) do() { _ = make([]int, 1) }
+
+//lint:hotpath
+func root(o ok) { o.do() }
+
+func mk() *impl { return &impl{} }
+`)
+	wantFindings(t, got, "allocfree", "make allocates")
+	if want := []string{"hot.root", "hot.impl.do"}; !reflect.DeepEqual(got[0].Chain, want) {
+		t.Errorf("chain = %v, want %v", got[0].Chain, want)
+	}
+}
+
+func TestAllocfreeFlagsClosuresGoAndDefer(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+//lint:hotpath
+func root(n int) {
+	defer clean()
+	go clean()
+	f := func() int { return n } // captures n
+	_ = f
+}
+
+func clean() {}
+`)
+	wantFindings(t, got, "allocfree",
+		"defer cannot be proven allocation-free",
+		"go statement allocates a goroutine",
+		"function literal captures n",
+	)
+}
+
+func TestAllocfreeVariadicAndArgumentBoxing(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+func sink(args ...int) {}
+
+func eat(i interface{}) {}
+
+//lint:hotpath
+func root(n int) {
+	sink(1, 2)
+	eat(n)
+}
+`)
+	wantFindings(t, got, "allocfree",
+		"variadic call allocates its argument slice",
+		"argument boxes a non-pointer value into an interface parameter",
+	)
+}
+
+func TestAllocfreeColdpathBoundary(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+//lint:hotpath
+func root() { controlPlane() }
+
+//lint:coldpath runs once per reconfiguration, not per packet
+func controlPlane() { _ = make([]int, 1) }
+`)
+	wantFindings(t, got, "allocfree")
+}
+
+func TestAllocfreeColdpathWithoutReason(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+//lint:coldpath
+func controlPlane() {}
+`)
+	wantFindings(t, got, "allocfree", "//lint:coldpath without a reason")
+}
+
+func TestAllocfreeSuppression(t *testing.T) {
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+//lint:hotpath
+func root(n int) {
+	//lint:ignore allocfree the one deliberate allocation, measured elsewhere
+	_ = make([]int, n)
+}
+`)
+	wantFindings(t, got, "allocfree")
+}
+
+// TestAllocfreeDefaultRootSuffixMatch seeds a miniature internal/core: a
+// package whose import path ends in "internal/core" with an
+// Agent.applyEgress method is picked up by the declared root set with no
+// annotation, and a mutation injected into it is caught.
+func TestAllocfreeDefaultRootSuffixMatch(t *testing.T) {
+	const clean = `
+package core
+
+type Agent struct{ n int }
+
+func (a *Agent) applyEgress(x int) int { return x + a.n }
+`
+	got := checkFixture(t, AllocfreeAnalyzer, "repro/fixture/internal/core", "af.go", clean)
+	wantFindings(t, got, "allocfree")
+
+	mutated := strings.Replace(clean, "return x + a.n", "return x + len(make([]int, a.n))", 1)
+	got = checkFixture(t, AllocfreeAnalyzer, "repro/fixture/internal/core", "af.go", mutated)
+	wantFindings(t, got, "allocfree", "make allocates")
+	if want := []string{"core.Agent.applyEgress"}; !reflect.DeepEqual(got[0].Chain, want) {
+		t.Errorf("chain = %v, want %v", got[0].Chain, want)
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BlockfreeAnalyzer proves the hot-path region (same region as
+// allocfree) never blocks: no channel operations, no time.Sleep or
+// timer waits, no lock acquisition, no sync waits, and no call that
+// cannot be proven non-blocking. A data plane that parks a goroutine
+// per packet is not a data plane.
+//
+// The rule has a second half wired to lockorder's class model: if hot
+// code does acquire a lock class (justified with //lint:ignore), that
+// class becomes *hot*, and the whole module is then scanned for code
+// that blocks or takes further locks while a hot class may be held —
+// anyone extending a hot critical section is extending per-packet
+// latency, wherever they live.
+var BlockfreeAnalyzer = &Analyzer{
+	Name:      "blockfree",
+	Doc:       "the hot-path root set must be transitively non-blocking, and nothing may block while a hot lock class is held",
+	RunModule: runBlockfree,
+}
+
+func runBlockfree(pkgs []*Package) []Finding {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	cg := BuildCallGraph(pkgs)
+	region, findings := buildHotRegion(pkgs, cg)
+	// buildHotRegion reports malformed coldpath annotations under the
+	// allocfree rule; allocfree owns those, don't duplicate them here.
+	findings = findings[:0]
+	mod := pkgs[0].ModulePath
+
+	hotLocks := map[string]bool{}
+	for _, hf := range region.funcs {
+		node := cg.Nodes[hf.key]
+		report := func(n ast.Node, msg string) {
+			findings = append(findings, hotFinding("blockfree", node.Pkg, n, hf.chain, msg))
+		}
+		scanBlockBody(node.Pkg, node.Decl, cg, mod, hotLocks, report)
+	}
+
+	findings = append(findings, scanHotLockHolders(pkgs, hotLocks)...)
+	return findings
+}
+
+// scanBlockBody walks one hot function body reporting blocking
+// constructs. Lock classes acquired here are recorded in hotLocks.
+func scanBlockBody(pkg *Package, fd *ast.FuncDecl, cg *CallGraph, mod string, hotLocks map[string]bool, report func(ast.Node, string)) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return // runs only if invoked; invocation sites are flagged
+		case *ast.GoStmt:
+			return // spawning never blocks; the spawned body is goroleak's job
+		case *ast.DeferStmt:
+			walk(n.Call) // runs at return, still on the hot goroutine
+			return
+		case *ast.SendStmt:
+			report(n, "channel send may block")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n, "channel receive may block")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(n, "range over a channel blocks until close")
+				}
+			}
+		case *ast.SelectStmt:
+			// The select blocks (or not) as a unit; its comm sends/receives
+			// never block individually, so only their operand expressions
+			// are scanned.
+			if !selectHasDefault(n) {
+				report(n, "select without default may block")
+			}
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				walkCommOperands(cc.Comm, walk)
+				for _, s := range cc.Body {
+					walk(s)
+				}
+			}
+			return
+		case *ast.CallExpr:
+			scanBlockCall(pkg, fd.Name.Name, n, cg, mod, hotLocks, report, walk)
+			return
+		}
+		for _, c := range astChildren(n) {
+			walk(c)
+		}
+	}
+	walk(fd.Body)
+}
+
+// scanBlockCall classifies one call expression on the hot path.
+func scanBlockCall(pkg *Package, funcName string, call *ast.CallExpr, cg *CallGraph, mod string, hotLocks map[string]bool, report func(ast.Node, string), walk func(ast.Node)) {
+	walkRest := func() {
+		walk(call.Fun)
+		for _, a := range call.Args {
+			walk(a)
+		}
+	}
+	if isBuiltinPanic(pkg, call) {
+		return
+	}
+	if isConversion(pkg, call) {
+		for _, a := range call.Args {
+			walk(a)
+		}
+		return
+	}
+	fun := unwrapIndex(ast.Unparen(call.Fun))
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		walk(lit.Body)
+		for _, a := range call.Args {
+			walk(a)
+		}
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			for _, a := range call.Args {
+				walk(a)
+			}
+			return
+		}
+	}
+	if key, acq, rel := lockClassOf(pkg, funcName, call); key != "" && (acq || rel) {
+		if acq {
+			report(call, fmt.Sprintf("acquires lock class %s on the hot path", key))
+			hotLocks[key] = true
+		}
+		// Releases never block and are part of the lock-class model, not
+		// an unprovable out-of-module call.
+		walkRest()
+		return
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && types.IsInterface(s.Recv()) {
+			if len(cg.IfaceTargets(pkg, call)) == 0 {
+				report(call, "interface method call resolves to no loaded implementation; cannot be proven non-blocking")
+			}
+			walkRest()
+			return
+		}
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		if msg := blockingStdCall(fn); msg != "" {
+			report(call, msg)
+		} else if path := funcPkgPath(fn); path != "" && !inModulePath(path, mod) {
+			report(call, fmt.Sprintf("call into %s cannot be proven non-blocking", lockFuncKey(fn)))
+		}
+		walkRest()
+		return
+	}
+	report(call, "call through a function value cannot be proven non-blocking")
+	walkRest()
+}
+
+// blockingStdCall names well-known blocking standard-library calls; ""
+// for anything else.
+func blockingStdCall(fn *types.Func) string {
+	if funcPkgPath(fn) == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep parks the goroutine"
+	}
+	r := recvNamed(fn)
+	switch {
+	case namedIs(r, "sync", "WaitGroup") && fn.Name() == "Wait":
+		return "sync.WaitGroup.Wait may block"
+	case namedIs(r, "sync", "Cond") && fn.Name() == "Wait":
+		return "sync.Cond.Wait blocks"
+	case namedIs(r, "sync", "Once") && fn.Name() == "Do":
+		return "sync.Once.Do may block behind the first caller"
+	}
+	return ""
+}
+
+// walkCommOperands visits the subexpressions of a select comm statement
+// while skipping the top-level send/receive operation itself.
+func walkCommOperands(comm ast.Stmt, walk func(ast.Node)) {
+	skipArrow := func(e ast.Expr) {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			walk(u.X)
+			return
+		}
+		walk(e)
+	}
+	switch c := comm.(type) {
+	case nil:
+	case *ast.SendStmt:
+		walk(c.Chan)
+		walk(c.Value)
+	case *ast.ExprStmt:
+		skipArrow(c.X)
+	case *ast.AssignStmt:
+		for _, l := range c.Lhs {
+			walk(l)
+		}
+		for _, r := range c.Rhs {
+			skipArrow(r)
+		}
+	default:
+		walk(comm)
+	}
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanHotLockHolders runs the module-wide second half: with the set of
+// hot lock classes in hand, flag any code that acquires another lock or
+// performs a blocking operation while a hot class may be held. The
+// held-set is lockorder's may-analysis, so a conditional release keeps
+// the class "held" — conservative toward finding latency extensions.
+func scanHotLockHolders(pkgs []*Package, hotLocks map[string]bool) []Finding {
+	if len(hotLocks) == 0 {
+		return nil
+	}
+	var hotNames []string
+	for k := range hotLocks {
+		hotNames = append(hotNames, k)
+	}
+	sort.Strings(hotNames)
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, scanHolderFunc(pkg, fd, hotLocks)...)
+			}
+		}
+	}
+	return out
+}
+
+// scanHolderFunc checks one function body for blocking-while-hot.
+func scanHolderFunc(pkg *Package, fd *ast.FuncDecl, hotLocks map[string]bool) []Finding {
+	var out []Finding
+	lat := &heldLattice{pkg: pkg, funcName: fd.Name.Name}
+	g := BuildCFG(fd.Body)
+	ForwardVisit[heldFact](g, lat, func(n ast.Node, before heldFact) {
+		f := before
+		hotHeld := func() string {
+			for _, k := range sortedHeld(f) {
+				if hotLocks[k] {
+					return k
+				}
+			}
+			return ""
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				if h := hotHeld(); h != "" {
+					out = append(out, Finding{Rule: "blockfree", Pos: position(pkg, m),
+						Msg: fmt.Sprintf("channel send while hot lock class %s may be held: extends per-packet critical section", h)})
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					if h := hotHeld(); h != "" {
+						out = append(out, Finding{Rule: "blockfree", Pos: position(pkg, m),
+							Msg: fmt.Sprintf("channel receive while hot lock class %s may be held", h)})
+					}
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					if h := hotHeld(); h != "" {
+						out = append(out, Finding{Rule: "blockfree", Pos: position(pkg, m),
+							Msg: fmt.Sprintf("blocking select while hot lock class %s may be held", h)})
+					}
+				}
+			case *ast.CallExpr:
+				if key, acq, rel := lockClassOf(pkg, fd.Name.Name, m); key != "" && (acq || rel) {
+					if acq {
+						if h := hotHeld(); h != "" && key != h {
+							out = append(out, Finding{Rule: "blockfree", Pos: position(pkg, m),
+								Msg: fmt.Sprintf("lock class %s acquired while hot lock class %s may be held", key, h)})
+						}
+					}
+					f = lat.Transfer(&ast.ExprStmt{X: m}, f)
+					return false
+				}
+				if fn := calleeFunc(pkg, m); fn != nil {
+					if msg := blockingStdCall(fn); msg != "" {
+						if h := hotHeld(); h != "" {
+							out = append(out, Finding{Rule: "blockfree", Pos: position(pkg, m),
+								Msg: fmt.Sprintf("%s while hot lock class %s may be held", msg, h)})
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

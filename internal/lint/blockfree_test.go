@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBlockfreeFlagsBlockingOps(t *testing.T) {
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+import "time"
+
+//lint:hotpath
+func root(ch chan int) {
+	ch <- 1
+	<-ch
+	for range ch {
+	}
+	select {
+	case <-ch:
+	}
+	time.Sleep(time.Millisecond)
+}
+`)
+	wantFindings(t, got, "blockfree",
+		"channel send may block",
+		"channel receive may block",
+		"range over a channel blocks until close",
+		"select without default may block",
+		"time.Sleep parks the goroutine",
+	)
+}
+
+func TestBlockfreeSelectWithDefaultPasses(t *testing.T) {
+	// A select with a default never parks, and its comm operations do not
+	// block individually — neither may be flagged.
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+//lint:hotpath
+func root(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	case ch <- 2:
+	default:
+	}
+}
+`)
+	wantFindings(t, got, "blockfree")
+}
+
+func TestBlockfreeChainsThroughTransitiveCalls(t *testing.T) {
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+//lint:hotpath
+func root(ch chan int) { drain(ch) }
+
+func drain(ch chan int) { <-ch }
+`)
+	wantFindings(t, got, "blockfree", "channel receive may block")
+	if want := []string{"hot.root", "hot.drain"}; !reflect.DeepEqual(got[0].Chain, want) {
+		t.Errorf("chain = %v, want %v", got[0].Chain, want)
+	}
+}
+
+func TestBlockfreeFlagsUnprovableCalls(t *testing.T) {
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+import "sync"
+
+type ext interface{ do() }
+
+//lint:hotpath
+func root(f func(), e ext, wg *sync.WaitGroup, o *sync.Once) {
+	f()
+	e.do()
+	wg.Wait()
+	o.Do(clean)
+}
+
+func clean() {}
+`)
+	wantFindings(t, got, "blockfree",
+		"call through a function value cannot be proven non-blocking",
+		"interface method call resolves to no loaded implementation",
+		"sync.WaitGroup.Wait may block",
+		"sync.Once.Do may block behind the first caller",
+	)
+}
+
+// TestBlockfreeHotLockPropagates seeds a lock acquisition on the hot path
+// (which is itself a finding) and checks the second half of the rule: the
+// lock's class becomes hot, and an unrelated function that receives from
+// a channel while holding it is flagged module-wide.
+func TestBlockfreeHotLockPropagates(t *testing.T) {
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+//lint:hotpath
+func (s *S) root() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *S) elsewhere() {
+	s.mu.Lock()
+	<-s.ch
+	s.mu.Unlock()
+}
+`)
+	wantFindings(t, got, "blockfree",
+		"acquires lock class repro/fixture/internal/hot.S.mu on the hot path",
+		"channel receive while hot lock class repro/fixture/internal/hot.S.mu may be held",
+	)
+}

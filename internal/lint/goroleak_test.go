@@ -1,0 +1,165 @@
+package lint
+
+import "testing"
+
+const leakFixturePkg = "repro/fixture/internal/leak"
+
+func TestGoroleakFlagsReceiverWithNoSender(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func leak() {
+	ch := make(chan int)
+	go func() { <-ch }()
+}
+`)
+	wantFindings(t, got, "goroleak", "blocks forever")
+}
+
+func TestGoroleakCloseIsACounterpart(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func clean() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	close(ch)
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroleakSendWithNoReceiver(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func leak() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+}
+`)
+	wantFindings(t, got, "goroleak", "blocks forever")
+}
+
+func TestGoroleakBufferedSendPasses(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func clean() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+// TestGoroleakParamPropagation spawns a named function: the channel flows
+// into the callee's parameter, and the analysis must judge the callee's
+// ops against the caller's concrete channel.
+func TestGoroleakParamPropagation(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func consume(ch chan int) { <-ch }
+
+func leak() {
+	ch := make(chan int)
+	go consume(ch)
+}
+`)
+	wantFindings(t, got, "goroleak", "blocks forever")
+
+	got = checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func consume(ch chan int) { <-ch }
+
+func clean() {
+	ch := make(chan int)
+	go consume(ch)
+	ch <- 1
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroleakSelectJudgedAsUnit(t *testing.T) {
+	// All cases dead: leak.
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func leak() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+`)
+	wantFindings(t, got, "goroleak", "blocks forever")
+
+	// One live case rescues the whole select.
+	got = checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func clean() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+	a <- 1
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroleakSelectWithDefaultPasses(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func clean() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroleakUnknownChannelsAreSatisfied(t *testing.T) {
+	// A channel that arrives from outside the analyzed code (here: a
+	// parameter of an unspawned function) has unknown counterparts; the
+	// rule stays quiet rather than guessing.
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func spawnOn(ch chan int) {
+	go func() { <-ch }()
+}
+`)
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroleakSuppression(t *testing.T) {
+	got := checkFixture(t, GoroleakAnalyzer, leakFixturePkg, "gl.go", `
+package leak
+
+func leak() {
+	ch := make(chan int)
+	//lint:ignore goroleak intentional fixture: the goroutine parks by design
+	go func() { <-ch }()
+}
+`)
+	wantFindings(t, got, "goroleak")
+}

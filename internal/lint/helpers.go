@@ -10,8 +10,10 @@ import (
 // calleeFunc resolves the static callee of a call expression, or nil for
 // dynamic calls (function values, method values through interfaces stay
 // resolvable via Selections; calls of func-typed variables do not).
+// Explicitly instantiated generic calls (F[T](…)) resolve to the generic
+// function.
 func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
-	switch fn := ast.Unparen(call.Fun).(type) {
+	switch fn := unwrapIndex(ast.Unparen(call.Fun)).(type) {
 	case *ast.Ident:
 		if f, ok := pkg.Info.Uses[fn].(*types.Func); ok {
 			return f
@@ -29,6 +31,25 @@ func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 		}
 	}
 	return nil
+}
+
+// unwrapIndex strips an explicit generic instantiation (F[T] or F[T1,T2])
+// from a call head, returning the underlying function expression.
+func unwrapIndex(e ast.Expr) ast.Expr {
+	switch ix := e.(type) {
+	case *ast.IndexExpr:
+		return ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		return ast.Unparen(ix.X)
+	}
+	return e
+}
+
+// sigKey renders a function type as a universe-independent string: types
+// from different type-checker universes (the loader checks each package
+// independently) compare equal iff their full-path renderings do.
+func sigKey(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Path() })
 }
 
 // isConversion reports whether the call is a type conversion, not a call.

@@ -22,11 +22,14 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a position.
+// Finding is one rule violation at a position. Interprocedural rules
+// (allocfree, blockfree) additionally carry the call chain from the
+// hot-path root to the function containing Pos.
 type Finding struct {
-	Rule string
-	Pos  token.Position
-	Msg  string
+	Rule  string
+	Pos   token.Position
+	Msg   string
+	Chain []string
 }
 
 func (f Finding) String() string {
@@ -61,6 +64,9 @@ func All() []*Analyzer {
 		RewritetaintAnalyzer,
 		FsmconformAnalyzer,
 		ObsexhaustAnalyzer,
+		AllocfreeAnalyzer,
+		BlockfreeAnalyzer,
+		GoroleakAnalyzer,
 	}
 }
 

@@ -198,6 +198,7 @@ func (r *Recorder) Emit(e Event) {
 	e.Host = r.host
 	e.Seq = r.seq
 	r.seq++
+	//lint:ignore allocfree event storage is the recorder's one deliberate allocation: nil and disabled-kind recorders return before reaching it, which is exactly the configuration TestRewritePathZeroAlloc pins at zero allocs per rewrite
 	r.events = append(r.events, e)
 }
 

@@ -1,10 +1,13 @@
 #!/bin/sh
 # check.sh — the full pre-merge gate: build, vet, race-enabled tests, the
 # repo's own static-analysis suite (cmd/dyscolint), the observability
-# micro-benchmark, and the fault-injection safety sweep. The benchmark's
-# metrics summary lands in BENCH_obs.json and the sweep's per-run results
-# (event/schedule hashes, oracles) in FAULT_sweep.json; CI archives both
-# as workflow artifacts. Everything here must pass before a change lands;
+# micro-benchmark, and the fault-injection safety sweep. The lint run
+# lands its machine-readable findings in LINT_report.json and the module
+# call graph (the input to the allocfree/blockfree hot-path proofs) in
+# LINT_callgraph.txt; the benchmark's metrics summary lands in
+# BENCH_obs.json and the sweep's per-run results (event/schedule hashes,
+# oracles) in FAULT_sweep.json. CI archives all four as workflow
+# artifacts. Everything here must pass before a change lands;
 # CI and developers run the same script.
 set -eux
 
@@ -13,6 +16,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
-go run ./cmd/dyscolint ./...
+go run ./cmd/dyscolint -json ./... > LINT_report.json || { cat LINT_report.json; exit 1; }
+go run ./cmd/dyscolint -callgraph ./... > LINT_callgraph.txt
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
 go run ./cmd/dyscofault -short -json FAULT_sweep.json
