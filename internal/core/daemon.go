@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"time"
 
@@ -52,8 +51,9 @@ func (t msgType) String() string {
 
 // ctrlMsg is the wire format of a control message. Every message carries
 // the session identifier as understood at the receiving hop; agents with
-// spliced sessions translate it when forwarding (§3.1). Serialized as JSON
-// like the prototype's daemon (§4.1 uses a simple serialization library).
+// spliced sessions translate it when forwarding (§3.1). Serialized by the
+// binary codec in ctrlinfo.go, the counterpart of the prototype daemon's
+// simple serialization library (§4.1).
 type ctrlMsg struct {
 	Type        msgType
 	ReqID       uint64
@@ -69,7 +69,7 @@ type ctrlMsg struct {
 	// State transfer (Figure 15).
 	StateFrom packet.Addr
 	StateTo   packet.Addr
-	State     []byte `json:",omitempty"`
+	State     []byte
 
 	from packet.Addr // sender host; filled by the receiver, not serialized
 }
@@ -113,10 +113,7 @@ func newDaemon(a *Agent) *daemon {
 
 // send serializes and transmits a control message to the daemon on host to.
 func (d *daemon) send(to packet.Addr, m *ctrlMsg) {
-	body, err := json.Marshal(m)
-	if err != nil {
-		panic("core: control message marshal: " + err.Error())
-	}
+	body := encodeCtrlMsg(m)
 	d.a.obs.Emit(obs.Event{
 		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,
 		Detail: m.Type.String(), Dir: "send", Peer: to,
@@ -130,10 +127,11 @@ func (d *daemon) send(to packet.Addr, m *ctrlMsg) {
 
 // handleUDP is bound to DaemonPort.
 func (d *daemon) handleUDP(p *packet.Packet) {
-	var m ctrlMsg
-	if err := json.Unmarshal(p.Payload, &m); err != nil {
-		return
+	mp, err := decodeCtrlMsg(p.Payload)
+	if err != nil {
+		return // not a control message, or corrupted in flight: drop
 	}
+	m := *mp
 	m.from = p.Tuple.SrcIP
 	d.a.obs.Emit(obs.Event{
 		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,

@@ -42,7 +42,9 @@ func encodeSynPayload(sp *synPayload) []byte {
 }
 
 // decodeSynPayload parses a SYN payload; ok is false when the payload is
-// not Dysco metadata.
+// not Dysco metadata. Every read is dominated by a length guard: the
+// payload comes off the wire, so the decoder must return an error — never
+// panic — on truncated input (proven by the wiresafe lint pass).
 func decodeSynPayload(b []byte) (*synPayload, bool, error) {
 	if len(b) < 4 || binary.BigEndian.Uint32(b) != synPayloadMagic {
 		return nil, false, nil
@@ -52,19 +54,30 @@ func decodeSynPayload(b []byte) (*synPayload, bool, error) {
 	}
 	sp := &synPayload{Reconfig: b[4]&1 != 0}
 	var off int
-	sp.Session, off = readTuple(b, 5)
+	var err error
+	sp.Session, off, err = readTuple(b, 5)
+	if err != nil {
+		return nil, true, err
+	}
+	if len(b) < off+1 {
+		return nil, true, errors.New("core: truncated Dysco SYN payload")
+	}
 	n := int(b[off])
 	off++
-	if len(b) < off+4*n {
-		return nil, true, errors.New("core: truncated Dysco address list")
-	}
+	rest := b[off:]
 	for i := 0; i < n; i++ {
-		sp.List = append(sp.List, packet.Addr(binary.BigEndian.Uint32(b[off:])))
-		off += 4
+		if len(rest) < 4 {
+			return nil, true, errors.New("core: truncated Dysco address list")
+		}
+		sp.List = append(sp.List, packet.Addr(binary.BigEndian.Uint32(rest)))
+		rest = rest[4:]
 	}
 	return sp, true, nil
 }
 
+// appendTuple renders a five-tuple. Layout (big endian):
+//
+//	u8 proto | u32 srcIP | u32 dstIP | u16 srcPort | u16 dstPort
 func appendTuple(b []byte, t packet.FiveTuple) []byte {
 	b = append(b, byte(t.Proto))
 	b = binary.BigEndian.AppendUint32(b, uint32(t.SrcIP))
@@ -74,12 +87,21 @@ func appendTuple(b []byte, t packet.FiveTuple) []byte {
 	return b
 }
 
-func readTuple(b []byte, off int) (packet.FiveTuple, int) {
+// tupleWireLen is the encoded size of a five-tuple.
+const tupleWireLen = 13
+
+// readTuple decodes the five-tuple at offset off. The bytes come from the
+// network, so the caller's length math is not trusted: a tuple that does
+// not fit in b is an error, never a panic.
+func readTuple(b []byte, off int) (packet.FiveTuple, int, error) {
 	var t packet.FiveTuple
+	if off < 0 || len(b) < off+tupleWireLen {
+		return t, 0, errors.New("core: truncated five-tuple")
+	}
 	t.Proto = packet.Proto(b[off])
 	t.SrcIP = packet.Addr(binary.BigEndian.Uint32(b[off+1:]))
 	t.DstIP = packet.Addr(binary.BigEndian.Uint32(b[off+5:]))
 	t.SrcPort = packet.Port(binary.BigEndian.Uint16(b[off+9:]))
 	t.DstPort = packet.Port(binary.BigEndian.Uint16(b[off+11:]))
-	return t, off + 13
+	return t, off + tupleWireLen, nil
 }

@@ -471,7 +471,7 @@ func missingReason() {}
 func TestAllAnalyzersPresent(t *testing.T) {
 	want := []string{"walltime", "seqarith", "mapiter", "locksafe", "errdrop",
 		"statexhaust", "lockorder", "rewritetaint", "fsmconform", "obsexhaust",
-		"allocfree", "blockfree", "goroleak"}
+		"allocfree", "blockfree", "goroleak", "wiresafe"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))

@@ -67,6 +67,7 @@ func All() []*Analyzer {
 		AllocfreeAnalyzer,
 		BlockfreeAnalyzer,
 		GoroleakAnalyzer,
+		WiresafeAnalyzer,
 	}
 }
 

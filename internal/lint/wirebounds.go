@@ -1,0 +1,997 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Length-guard proofs for wire decoders: every index, slice, and
+// binary.BigEndian.UintN read of the input bytes must be dominated by a
+// guard that covers it, or decoding a truncated message panics. The
+// analysis is a branch-sensitive forward dataflow (dataflow.go) over the
+// decoder's CFG tracking linear inequalities between byte-slice lengths,
+// offset variables, and constants:
+//
+//	len(s) >= c           `if len(b) < 93 { return err }`
+//	len(s) >= v + c       `if len(b) < off+13 { return err }`
+//	v >= c, v <= c        `if off < 0 { return err }`, exact bindings
+//	v <= len(s) + c       `if length > len(b) { return err }`
+//
+// Joins intersect: a fact survives a merge only when both predecessors
+// agree on it, which keeps loop analysis trivially convergent — decoders
+// re-establish their facts with in-loop guards, exactly the discipline
+// the rule enforces.
+
+// bgSV keys a relational fact between a byte slice and an int variable.
+type bgSV struct {
+	s types.Object
+	v types.Object
+}
+
+// bgFact is the bounds knowledge holding at one program point.
+type bgFact struct {
+	lenGE  map[types.Object]int // len(s) >= c
+	lenGEV map[bgSV]int         // len(s) >= v + c
+	varGE  map[types.Object]int // v >= c
+	varLE  map[types.Object]int // v <= c
+	varLEL map[bgSV]int         // v <= len(s) + c
+}
+
+func (f bgFact) clone() bgFact {
+	return bgFact{
+		lenGE:  copyMap(f.lenGE),
+		lenGEV: copyMap(f.lenGEV),
+		varGE:  copyMap(f.varGE),
+		varLE:  copyMap(f.varLE),
+		varLEL: copyMap(f.varLEL),
+	}
+}
+
+// kill removes every fact mentioning the object, as a slice or a variable.
+func (f bgFact) kill(o types.Object) {
+	delete(f.lenGE, o)
+	delete(f.varGE, o)
+	delete(f.varLE, o)
+	for k := range f.lenGEV {
+		if k.s == o || k.v == o {
+			delete(f.lenGEV, k)
+		}
+	}
+	for k := range f.varLEL {
+		if k.s == o || k.v == o {
+			delete(f.varLEL, k)
+		}
+	}
+}
+
+func mapsEq[K comparable](a, b map[K]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mapsMeet keeps only the keys both maps agree on — the drop-on-differ
+// join that guarantees convergence.
+func mapsMeet[K comparable](a, b map[K]int) map[K]int {
+	out := make(map[K]int)
+	for k, v := range a {
+		if w, ok := b[k]; ok && w == v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// bgLat is the Lattice implementation.
+type bgLat struct {
+	pkg *Package
+	x   *wireXtract
+}
+
+func (l *bgLat) Entry() bgFact { return bgFact{} }
+
+func (l *bgLat) Equal(a, b bgFact) bool {
+	return mapsEq(a.lenGE, b.lenGE) && mapsEq(a.lenGEV, b.lenGEV) &&
+		mapsEq(a.varGE, b.varGE) && mapsEq(a.varLE, b.varLE) && mapsEq(a.varLEL, b.varLEL)
+}
+
+func (l *bgLat) Join(a, b bgFact) bgFact {
+	return bgFact{
+		lenGE:  mapsMeet(a.lenGE, b.lenGE),
+		lenGEV: mapsMeet(a.lenGEV, b.lenGEV),
+		varGE:  mapsMeet(a.varGE, b.varGE),
+		varLE:  mapsMeet(a.varLE, b.varLE),
+		varLEL: mapsMeet(a.varLEL, b.varLEL),
+	}
+}
+
+// exact looks a variable up as a known constant: usable for offset
+// arithmetic only when the analysis pinned it exactly.
+func (l *bgLat) exact(f bgFact) func(types.Object) (int, bool) {
+	return func(o types.Object) (int, bool) {
+		g, ok1 := f.varGE[o]
+		le, ok2 := f.varLE[o]
+		if ok1 && ok2 && g == le {
+			return g, true
+		}
+		return 0, false
+	}
+}
+
+// byteSliceObj resolves an expression to a tracked []byte variable.
+func (l *bgLat) byteSliceObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	o := objOf(l.pkg.Info, id)
+	if o == nil || !isByteSlice(o.Type()) {
+		return nil
+	}
+	return o
+}
+
+// lenArg matches len(s) over a tracked byte slice.
+func (l *bgLat) lenArg(e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || builtinName(l.pkg, call) != "len" || len(call.Args) != 1 {
+		return nil
+	}
+	return l.byteSliceObj(call.Args[0])
+}
+
+// ---------- refinement along branch edges ----------
+
+func (l *bgLat) Refine(e Edge, f bgFact) (bgFact, bool) {
+	switch e.Kind {
+	case EdgeTrue:
+		return l.refineAtoms(f, CondAtoms(e.Cond, true)), true
+	case EdgeFalse:
+		return l.refineAtoms(f, CondAtoms(e.Cond, false)), true
+	case EdgeCase, EdgeDefault, EdgePlain:
+		// No length information flows along switch or fallthrough edges.
+		return f, true
+	}
+	return f, true
+}
+
+func (l *bgLat) refineAtoms(f bgFact, atoms []CondAtom) bgFact {
+	if len(atoms) == 0 {
+		return f
+	}
+	nf := f.clone()
+	for _, a := range atoms {
+		l.refineAtom(nf, a)
+	}
+	return nf
+}
+
+// invertCmp maps a comparison to its negation.
+func invertCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.GTR:
+		return token.LEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+func maxIn(m map[types.Object]int, k types.Object, v int) {
+	if cur, ok := m[k]; !ok || v > cur {
+		m[k] = v
+	}
+}
+
+func minIn[K comparable](m map[K]int, k K, v int) {
+	if cur, ok := m[k]; !ok || v < cur {
+		m[k] = v
+	}
+}
+
+// addLen records len(s) >= v + c (v may be nil) plus its contrapositive
+// v <= len(s) - c.
+func addLen(f bgFact, s, v types.Object, c int) {
+	if v == nil {
+		if c > 0 {
+			if f.lenGE == nil {
+				f.lenGE = map[types.Object]int{}
+			}
+			maxIn(f.lenGE, s, c)
+		}
+		return
+	}
+	if f.lenGEV == nil {
+		f.lenGEV = map[bgSV]int{}
+	}
+	if cur, ok := f.lenGEV[bgSV{s, v}]; !ok || c > cur {
+		f.lenGEV[bgSV{s, v}] = c
+	}
+	if f.varLEL == nil {
+		f.varLEL = map[bgSV]int{}
+	}
+	minIn(f.varLEL, bgSV{s: s, v: v}, -c)
+}
+
+func (l *bgLat) refineAtom(f bgFact, a CondAtom) {
+	bin, ok := ast.Unparen(a.Expr).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	op := bin.Op
+	if !a.Truth {
+		op = invertCmp(op)
+	}
+	if op == token.NEQ || op == token.ILLEGAL {
+		return
+	}
+	look := l.exact(f)
+	// len(s) op rhs
+	if s := l.lenArg(bin.X); s != nil {
+		v, c, ok := wireAffine(l.pkg, look, bin.Y)
+		if !ok {
+			return
+		}
+		switch op {
+		case token.GEQ:
+			addLen(f, s, v, c)
+		case token.GTR:
+			addLen(f, s, v, c+1)
+		case token.EQL:
+			addLen(f, s, v, c)
+		case token.LEQ, token.LSS:
+			// len(s) <= v + c: with a known lower len bound, v is bounded
+			// below.
+			if v != nil {
+				lb := f.lenGE[s] // zero default: len >= 0 always
+				if f.varGE == nil {
+					f.varGE = map[types.Object]int{}
+				}
+				adj := 0
+				if op == token.LSS {
+					adj = 1
+				}
+				maxIn(f.varGE, v, lb-c+adj)
+			}
+		}
+		return
+	}
+	// lhs op len(s)
+	if s := l.lenArg(bin.Y); s != nil {
+		v, c, ok := wireAffine(l.pkg, look, bin.X)
+		if !ok {
+			return
+		}
+		switch op {
+		case token.LEQ:
+			addLen(f, s, v, c)
+		case token.LSS:
+			addLen(f, s, v, c+1)
+		case token.EQL:
+			addLen(f, s, v, c)
+		case token.GEQ, token.GTR:
+			if v != nil {
+				lb := f.lenGE[s]
+				if f.varGE == nil {
+					f.varGE = map[types.Object]int{}
+				}
+				adj := 0
+				if op == token.GTR {
+					adj = 1
+				}
+				maxIn(f.varGE, v, lb-c+adj)
+			}
+		}
+		return
+	}
+	// var-vs-const comparisons
+	xv, xc, xok := wireAffine(l.pkg, look, bin.X)
+	yv, yc, yok := wireAffine(l.pkg, look, bin.Y)
+	if !xok || !yok {
+		return
+	}
+	// Normalize to v op k.
+	var v types.Object
+	var k int
+	switch {
+	case xv != nil && yv == nil:
+		v, k = xv, yc-xc
+	case xv == nil && yv != nil:
+		// k' op v  ==  v op' k'
+		v, k = yv, xc-yc
+		switch op {
+		case token.LSS:
+			op = token.GTR
+		case token.GTR:
+			op = token.LSS
+		case token.LEQ:
+			op = token.GEQ
+		case token.GEQ:
+			op = token.LEQ
+		}
+	default:
+		return
+	}
+	if f.varGE == nil {
+		f.varGE = map[types.Object]int{}
+	}
+	if f.varLE == nil {
+		f.varLE = map[types.Object]int{}
+	}
+	switch op {
+	case token.GEQ:
+		maxIn(f.varGE, v, k)
+	case token.GTR:
+		maxIn(f.varGE, v, k+1)
+	case token.LEQ:
+		minIn(f.varLE, v, k)
+	case token.LSS:
+		minIn(f.varLE, v, k-1)
+	case token.EQL:
+		maxIn(f.varGE, v, k)
+		minIn(f.varLE, v, k)
+	}
+}
+
+// ---------- transfer across statements ----------
+
+func (l *bgLat) Transfer(n ast.Node, f bgFact) bgFact {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		return l.assign(f, s)
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			if o := objOf(l.pkg.Info, id); o != nil {
+				d := 1
+				if s.Tok == token.DEC {
+					d = -1
+				}
+				nf := f.clone()
+				l.rekeyAffine(f, nf, o, o, d)
+				return nf
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return f
+		}
+		nf := f.clone()
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, nm := range vs.Names {
+				o := objOf(l.pkg.Info, nm)
+				if o == nil {
+					continue
+				}
+				nf.kill(o)
+				if i < len(vs.Values) {
+					l.applyDerive(f, nf, o, vs.Values[i])
+				}
+			}
+		}
+		return nf
+	case *ast.RangeStmt:
+		nf := f.clone()
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if o := objOf(l.pkg.Info, id); o != nil {
+					nf.kill(o)
+				}
+			}
+		}
+		return nf
+	}
+	return f
+}
+
+func (l *bgLat) assign(f bgFact, s *ast.AssignStmt) bgFact {
+	nf := f.clone()
+	// Nested decoder call: `x, off, err := readTuple(b, 12)` pins the
+	// returned next-offset when the callee's layout has a fixed width.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if sub := l.x.calleeWireFn(call, sideDec); sub != nil {
+				for _, lh := range s.Lhs {
+					if id, ok := ast.Unparen(lh).(*ast.Ident); ok {
+						if o := objOf(l.pkg.Info, id); o != nil {
+							nf.kill(o)
+						}
+					}
+				}
+				l.bindSubDecode(f, nf, s.Lhs, call, sub)
+				return nf
+			}
+		}
+	}
+	// Compound assignment: v += c / v -= c rekeys; anything else kills.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		if len(s.Lhs) == 1 {
+			if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+				if o := objOf(l.pkg.Info, id); o != nil {
+					if v, c, ok := wireAffine(l.pkg, l.exact(f), s.Rhs[0]); ok && v == nil &&
+						(s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN) {
+						if s.Tok == token.SUB_ASSIGN {
+							c = -c
+						}
+						l.rekeyAffine(f, nf, o, o, c)
+						return nf
+					}
+					nf.kill(o)
+				}
+			}
+		}
+		return nf
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				if o := objOf(l.pkg.Info, id); o != nil {
+					nf.kill(o)
+					l.applyDerive(f, nf, o, s.Rhs[i])
+				}
+			}
+		}
+		return nf
+	}
+	// Multi-value form: kill every identifier target.
+	for _, lh := range s.Lhs {
+		if id, ok := ast.Unparen(lh).(*ast.Ident); ok {
+			if o := objOf(l.pkg.Info, id); o != nil {
+				nf.kill(o)
+			}
+		}
+	}
+	return nf
+}
+
+// rekeyAffine installs facts for lhs = src + c, deriving them from src's
+// facts in the pre-state f (src may equal lhs: `off++`).
+func (l *bgLat) rekeyAffine(f, nf bgFact, lhs, src types.Object, c int) {
+	nfKill := func() { nf.kill(lhs) }
+	nfKill()
+	if g, ok := f.varGE[src]; ok {
+		if nf.varGE == nil {
+			nf.varGE = map[types.Object]int{}
+		}
+		nf.varGE[lhs] = g + c
+	}
+	if le, ok := f.varLE[src]; ok {
+		if nf.varLE == nil {
+			nf.varLE = map[types.Object]int{}
+		}
+		nf.varLE[lhs] = le + c
+	}
+	for k, kc := range f.lenGEV {
+		if k.v == src {
+			// len(s) >= src + kc = lhs - c + kc
+			if nf.lenGEV == nil {
+				nf.lenGEV = map[bgSV]int{}
+			}
+			nf.lenGEV[bgSV{k.s, lhs}] = kc - c
+		}
+	}
+	for k, kc := range f.varLEL {
+		if k.v == src {
+			// src <= len(s) + kc, so lhs <= len(s) + kc + c
+			if nf.varLEL == nil {
+				nf.varLEL = map[bgSV]int{}
+			}
+			nf.varLEL[bgSV{s: k.s, v: lhs}] = kc + c
+		}
+	}
+}
+
+// applyDerive installs the facts an assignment to lhs establishes, reading
+// the pre-state f and writing into nf (lhs already killed there).
+func (l *bgLat) applyDerive(f, nf bgFact, lhs types.Object, rhs ast.Expr) {
+	rhs = ast.Unparen(rhs)
+	look := l.exact(f)
+	setLenGE := func(c int) {
+		if c <= 0 {
+			return
+		}
+		if nf.lenGE == nil {
+			nf.lenGE = map[types.Object]int{}
+		}
+		nf.lenGE[lhs] = c
+	}
+	// v := s[lo:...] — a reslice inherits shifted length facts.
+	if se, ok := rhs.(*ast.SliceExpr); ok && isByteSlice(lhs.Type()) {
+		s := l.byteSliceObj(se.X)
+		if s == nil {
+			return
+		}
+		lv, lc := types.Object(nil), 0
+		if se.Low != nil {
+			var ok bool
+			lv, lc, ok = wireAffine(l.pkg, look, se.Low)
+			if !ok {
+				return
+			}
+		}
+		if se.High == nil {
+			if lv == nil {
+				if c, ok := f.lenGE[s]; ok {
+					setLenGE(c - lc)
+				}
+				for k, kc := range f.lenGEV {
+					if k.s == s && k.v != lhs {
+						// len(lhs) = len(s) - lc >= k.v + kc - lc
+						addLen(nf, lhs, k.v, kc-lc)
+					}
+				}
+			} else if kc, ok := f.lenGEV[bgSV{s, lv}]; ok {
+				setLenGE(kc - lc)
+			}
+			return
+		}
+		hv, hc, ok := wireAffine(l.pkg, look, se.High)
+		if !ok {
+			return
+		}
+		switch {
+		case hv == lv: // includes both constant
+			setLenGE(hc - lc)
+		case lv == nil:
+			if g, ok := f.varGE[hv]; ok {
+				setLenGE(g + hc - lc)
+			}
+		}
+		return
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		// v := append([]byte(nil), s...) copies at least len(s) bytes.
+		if builtinName(l.pkg, call) == "append" && call.Ellipsis.IsValid() {
+			if src := l.byteSliceObj(call.Args[len(call.Args)-1]); src != nil {
+				if c, ok := f.lenGE[src]; ok {
+					setLenGE(c)
+				}
+				for k, kc := range f.lenGEV {
+					if k.s == src && k.v != lhs {
+						addLen(nf, lhs, k.v, kc)
+					}
+				}
+			}
+			return
+		}
+		// v := len(s)
+		if s := l.lenArg(rhs); s != nil {
+			if nf.varGE == nil {
+				nf.varGE = map[types.Object]int{}
+			}
+			nf.varGE[lhs] = f.lenGE[s] // len >= 0 when no guard yet
+			addLen(nf, s, lhs, 0)
+			return
+		}
+	}
+	// Affine in a tracked variable (or constant).
+	if v, c, ok := wireAffine(l.pkg, look, rhs); ok {
+		if v == nil {
+			if nf.varGE == nil {
+				nf.varGE = map[types.Object]int{}
+			}
+			if nf.varLE == nil {
+				nf.varLE = map[types.Object]int{}
+			}
+			nf.varGE[lhs] = c
+			nf.varLE[lhs] = c
+			return
+		}
+		if v != lhs {
+			l.rekeyAffine(f, nf, lhs, v, c)
+			return
+		}
+	}
+	// Values of unsigned origin are nonnegative: n := int(b[90]).
+	if l.exprUnsigned(rhs) {
+		if nf.varGE == nil {
+			nf.varGE = map[types.Object]int{}
+		}
+		maxIn(nf.varGE, lhs, 0)
+	}
+}
+
+// exprUnsigned reports whether the expression's value is provably
+// nonnegative by type: unsigned-typed, or an integer conversion of an
+// unsigned-typed operand.
+func (l *bgLat) exprUnsigned(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := l.pkg.Info.Types[e]; ok && tv.Type != nil {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsUnsigned != 0 {
+			return true
+		}
+	}
+	if call, ok := e.(*ast.CallExpr); ok && isConversion(l.pkg, call) && len(call.Args) == 1 {
+		if b, ok := l.pkg.Info.Types[call].Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return l.exprUnsigned(call.Args[0])
+		}
+	}
+	return false
+}
+
+// bindSubDecode pins the next-offset result of a (b []byte, off int)
+// sub-decoder with a fixed layout: `x, off, err := readTuple(b, 5)` makes
+// off exactly 5+13.
+func (l *bgLat) bindSubDecode(f, nf bgFact, lhs []ast.Expr, call *ast.CallExpr, sub *wireFn) {
+	t := l.x.table(sub)
+	if t == nil || !t.HasOffParam || t.FixedWidth < 0 || len(call.Args) < 2 || len(lhs) < 2 {
+		return
+	}
+	v, c, ok := wireAffine(l.pkg, l.exact(f), call.Args[1])
+	if !ok || v != nil {
+		return
+	}
+	id, ok := ast.Unparen(lhs[1]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	o := objOf(l.pkg.Info, id)
+	if o == nil {
+		return
+	}
+	if nf.varGE == nil {
+		nf.varGE = map[types.Object]int{}
+	}
+	if nf.varLE == nil {
+		nf.varLE = map[types.Object]int{}
+	}
+	nf.varGE[o] = c + t.FixedWidth
+	nf.varLE[o] = c + t.FixedWidth
+}
+
+// ---------- proof obligations ----------
+
+// bgChecker replays a decoder body and reports every byte access the
+// facts cannot prove in bounds.
+type bgChecker struct {
+	lat  *bgLat
+	fn   *wireFn
+	seen map[string]bool
+	out  []Finding
+}
+
+// wireBoundsCheck proves (or reports) every input-byte access of one
+// decoder.
+func wireBoundsCheck(x *wireXtract, fn *wireFn) []Finding {
+	lat := &bgLat{pkg: fn.Pkg, x: x}
+	c := &bgChecker{lat: lat, fn: fn, seen: map[string]bool{}}
+	g := BuildCFG(fn.Decl.Body)
+	ForwardVisit(g, lat, func(n ast.Node, before bgFact) {
+		c.node(n, before)
+	})
+	return c.out
+}
+
+func (c *bgChecker) report(n ast.Node, msg string) {
+	pos := position(c.lat.pkg, n)
+	key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.out = append(c.out, Finding{Rule: "wiresafe", Pos: pos, Msg: msg})
+}
+
+func (c *bgChecker) node(n ast.Node, f bgFact) {
+	switch s := n.(type) {
+	case ast.Expr:
+		c.expr(f, s)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(f, r)
+		}
+		for _, lh := range s.Lhs {
+			// Stores through the slice are bounds obligations too.
+			if ix, ok := ast.Unparen(lh).(*ast.IndexExpr); ok {
+				c.expr(f, ix)
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(f, s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(f, r)
+		}
+	case *ast.IncDecStmt:
+		c.expr(f, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(f, v)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		c.expr(f, s.X)
+	case *ast.SendStmt:
+		c.expr(f, s.Chan)
+		c.expr(f, s.Value)
+	case *ast.GoStmt:
+		c.expr(f, s.Call)
+	case *ast.DeferStmt:
+		c.expr(f, s.Call)
+	}
+}
+
+func (c *bgChecker) expr(f bgFact, e ast.Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.ParenExpr:
+		c.expr(f, x.X)
+	case *ast.UnaryExpr:
+		c.expr(f, x.X)
+	case *ast.StarExpr:
+		c.expr(f, x.X)
+	case *ast.SelectorExpr:
+		c.expr(f, x.X)
+	case *ast.TypeAssertExpr:
+		c.expr(f, x.X)
+	case *ast.KeyValueExpr:
+		c.expr(f, x.Value)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			c.expr(f, el)
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND || x.Op == token.LOR {
+			// Short-circuit: the RHS evaluates only when the LHS already
+			// decided — refine before checking it, so
+			// `len(b) < 4 || b[3] != x` proves.
+			c.expr(f, x.X)
+			f2 := c.lat.refineAtoms(f, CondAtoms(x.X, x.Op == token.LAND))
+			c.expr(f2, x.Y)
+			return
+		}
+		c.expr(f, x.X)
+		c.expr(f, x.Y)
+	case *ast.IndexExpr:
+		c.expr(f, x.X)
+		c.expr(f, x.Index)
+		c.index(f, x)
+	case *ast.SliceExpr:
+		c.expr(f, x.X)
+		c.expr(f, x.Low)
+		c.expr(f, x.High)
+		c.expr(f, x.Max)
+		c.slice(f, x)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			c.expr(f, a)
+		}
+		c.widthObligation(f, x)
+	case *ast.FuncLit:
+		// Closures run at unknown points; out of scope for this proof.
+		return
+	}
+}
+
+func render(e ast.Expr) string { return types.ExprString(e) }
+
+func affineStr(v types.Object, c int) string {
+	switch {
+	case v == nil:
+		return fmt.Sprint(c)
+	case c == 0:
+		return v.Name()
+	case c > 0:
+		return fmt.Sprintf("%s+%d", v.Name(), c)
+	default:
+		return fmt.Sprintf("%s-%d", v.Name(), -c)
+	}
+}
+
+// proveLenGE proves len(s) >= v + c from the facts.
+func proveLenGE(f bgFact, s, v types.Object, c int) bool {
+	if v == nil {
+		if c <= 0 {
+			return true
+		}
+		if f.lenGE[s] >= c {
+			return true
+		}
+		for k, kc := range f.lenGEV {
+			if k.s != s {
+				continue
+			}
+			if g, ok := f.varGE[k.v]; ok && g+kc >= c {
+				return true
+			}
+		}
+		return false
+	}
+	if kc, ok := f.lenGEV[bgSV{s, v}]; ok && kc >= c {
+		return true
+	}
+	if m, ok := f.varLE[v]; ok && f.lenGE[s] >= m+c {
+		return true
+	}
+	if kc, ok := f.varLEL[bgSV{s: s, v: v}]; ok && -kc >= c {
+		return true
+	}
+	return false
+}
+
+// proveNonneg proves v + c >= 0.
+func (c *bgChecker) proveNonneg(f bgFact, v types.Object, k int) bool {
+	if v == nil {
+		return k >= 0
+	}
+	if g, ok := f.varGE[v]; ok && g+k >= 0 {
+		return true
+	}
+	if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsUnsigned != 0 {
+		return k >= 0
+	}
+	return false
+}
+
+func (c *bgChecker) index(f bgFact, x *ast.IndexExpr) {
+	s := c.lat.byteSliceObj(x.X)
+	if s == nil {
+		return
+	}
+	v, k, ok := wireAffine(c.lat.pkg, c.lat.exact(f), x.Index)
+	if !ok {
+		c.report(x, fmt.Sprintf("decoder %s: index %s has no provable bound (offset %s is not affine in a guarded variable)",
+			c.fn.Decl.Name.Name, render(x), render(x.Index)))
+		return
+	}
+	if !c.proveNonneg(f, v, k) {
+		c.report(x, fmt.Sprintf("decoder %s: cannot prove %s >= 0 in %s",
+			c.fn.Decl.Name.Name, affineStr(v, k), render(x)))
+	}
+	if !proveLenGE(f, s, v, k+1) {
+		c.report(x, fmt.Sprintf("decoder %s: %s is not dominated by a length guard covering it (need len(%s) >= %s)",
+			c.fn.Decl.Name.Name, render(x), s.Name(), affineStr(v, k+1)))
+	}
+}
+
+func (c *bgChecker) slice(f bgFact, x *ast.SliceExpr) {
+	s := c.lat.byteSliceObj(x.X)
+	if s == nil {
+		return
+	}
+	look := c.lat.exact(f)
+	lv, lc := types.Object(nil), 0
+	if x.Low != nil {
+		var ok bool
+		lv, lc, ok = wireAffine(c.lat.pkg, look, x.Low)
+		if !ok {
+			c.report(x, fmt.Sprintf("decoder %s: slice %s has no provable bound (offset %s is not affine in a guarded variable)",
+				c.fn.Decl.Name.Name, render(x), render(x.Low)))
+			return
+		}
+		if !c.proveNonneg(f, lv, lc) {
+			c.report(x, fmt.Sprintf("decoder %s: cannot prove %s >= 0 in %s",
+				c.fn.Decl.Name.Name, affineStr(lv, lc), render(x)))
+		}
+		if !proveLenGE(f, s, lv, lc) {
+			c.report(x, fmt.Sprintf("decoder %s: %s is not dominated by a length guard covering it (need len(%s) >= %s)",
+				c.fn.Decl.Name.Name, render(x), s.Name(), affineStr(lv, lc)))
+		}
+	}
+	for _, hiExpr := range []ast.Expr{x.High, x.Max} {
+		if hiExpr == nil {
+			continue
+		}
+		hv, hc, ok := wireAffine(c.lat.pkg, look, hiExpr)
+		if !ok {
+			c.report(x, fmt.Sprintf("decoder %s: slice %s has no provable bound (offset %s is not affine in a guarded variable)",
+				c.fn.Decl.Name.Name, render(x), render(hiExpr)))
+			continue
+		}
+		if !proveLenGE(f, s, hv, hc) {
+			c.report(x, fmt.Sprintf("decoder %s: %s is not dominated by a length guard covering it (need len(%s) >= %s)",
+				c.fn.Decl.Name.Name, render(x), s.Name(), affineStr(hv, hc)))
+		}
+		if hiExpr == x.High && !c.proveLoLeHi(f, lv, lc, hv, hc) {
+			c.report(x, fmt.Sprintf("decoder %s: cannot prove %s <= %s in %s",
+				c.fn.Decl.Name.Name, affineStr(lv, lc), affineStr(hv, hc), render(x)))
+		}
+	}
+}
+
+// proveLoLeHi proves lo <= hi for affine bounds.
+func (c *bgChecker) proveLoLeHi(f bgFact, lv types.Object, lc int, hv types.Object, hc int) bool {
+	switch {
+	case lv == hv:
+		return lc <= hc
+	case lv == nil:
+		if g, ok := f.varGE[hv]; ok && g+hc >= lc {
+			return true
+		}
+	case hv == nil:
+		if m, ok := f.varLE[lv]; ok && m+lc <= hc {
+			return true
+		}
+	}
+	return false
+}
+
+// widthObligation checks that a binary.ByteOrder UintN read has N/8 bytes
+// available in its argument.
+func (c *bgChecker) widthObligation(f bgFact, call *ast.CallExpr) {
+	op, width, _, ok := byteOrderCall(c.lat.pkg, call)
+	if !ok || op != "" || len(call.Args) != 1 {
+		return
+	}
+	look := c.lat.exact(f)
+	need := func(s types.Object, v types.Object, k int) {
+		if !proveLenGE(f, s, v, k) {
+			c.report(call, fmt.Sprintf("decoder %s: %d-byte read %s is not dominated by a length guard covering it (need len(%s) >= %s)",
+				c.fn.Decl.Name.Name, width, render(call), s.Name(), affineStr(v, k)))
+		}
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		if s := c.lat.byteSliceObj(arg); s != nil {
+			need(s, nil, width)
+		}
+	case *ast.SliceExpr:
+		s := c.lat.byteSliceObj(arg.X)
+		if s == nil {
+			return
+		}
+		lv, lc := types.Object(nil), 0
+		if arg.Low != nil {
+			var ok bool
+			lv, lc, ok = wireAffine(c.lat.pkg, look, arg.Low)
+			if !ok {
+				return // already reported by the slice obligation
+			}
+		}
+		if arg.High == nil {
+			need(s, lv, lc+width)
+			return
+		}
+		hv, hc, ok := wireAffine(c.lat.pkg, look, arg.High)
+		if !ok {
+			return
+		}
+		// Need hi - lo >= width.
+		proved := false
+		switch {
+		case hv == lv:
+			proved = hc-lc >= width
+		case lv == nil:
+			if g, ok := f.varGE[hv]; ok {
+				proved = g+hc-lc >= width
+			}
+		case hv == nil:
+			if m, ok := f.varLE[lv]; ok {
+				proved = hc-(m+lc) >= width
+			}
+		}
+		if !proved {
+			c.report(call, fmt.Sprintf("decoder %s: %d-byte read %s is not proven to have %d bytes available (window %s:%s)",
+				c.fn.Decl.Name.Name, width, render(call), width, affineStr(lv, lc), affineStr(hv, hc)))
+		}
+	}
+}

@@ -1,0 +1,1325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file discovers the module's wire codecs and extracts a symbolic
+// layout table from each side: field → byte offset, width, endianness.
+// The tables feed two clients in wiresafe.go — the encoder/decoder
+// agreement check and the `dyscolint -wire` layout dump — and the
+// per-decoder offset knowledge feeds the length-guard proofs in
+// wirebounds.go.
+//
+// Discovery is by naming and type convention: an encoder is a function
+// named serialize*/encode*/append* whose last result is []byte, a decoder
+// is parse*/decode*/read* with a []byte parameter. A pair shares the name
+// remainder after the verb within one package (serializeIP ↔ parseIP,
+// appendTuple ↔ readTuple, Serialize ↔ Parse).
+//
+// Extraction walks the function body in source order. On the encoder
+// side, appends and binary.BigEndian.PutUintN/AppendUintN calls advance a
+// symbolic offset cursor; on the decoder side, index expressions and
+// UintN reads are resolved through a constant environment that tracks
+// slice re-bases (`rest := b[93:]`) and offset accumulators (`off++`).
+// Conditionals and loops become nested groups: their contents are dumped
+// but — being control-dependent — excluded from offset comparison.
+
+type wireSide int
+
+const (
+	sideEnc wireSide = iota
+	sideDec
+)
+
+func (s wireSide) String() string {
+	if s == sideEnc {
+		return "enc"
+	}
+	return "dec"
+}
+
+var (
+	wireEncVerbs = []string{"serialize", "encode", "append"}
+	wireDecVerbs = []string{"parse", "decode", "read"}
+)
+
+// wireFn is one discovered codec function.
+type wireFn struct {
+	Pkg    *Package
+	Decl   *ast.FuncDecl
+	Obj    *types.Func
+	Side   wireSide
+	Verb   string
+	Suffix string // lowercased name remainder after the verb
+}
+
+// wireVerb splits a function name into codec verb and remainder. The
+// remainder must be empty or start a new camel-case word, so `parser`
+// does not count as parse+r.
+func wireVerb(name string) (verb, suffix string, side wireSide, ok bool) {
+	lower := strings.ToLower(name)
+	try := func(verbs []string, s wireSide) bool {
+		for _, v := range verbs {
+			if !strings.HasPrefix(lower, v) {
+				continue
+			}
+			rest := name[len(v):]
+			if rest != "" && rest[0] >= 'a' && rest[0] <= 'z' {
+				continue
+			}
+			verb, suffix, side, ok = v, strings.ToLower(rest), s, true
+			return true
+		}
+		return false
+	}
+	if try(wireEncVerbs, sideEnc) {
+		return
+	}
+	try(wireDecVerbs, sideDec)
+	return
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// discoverWireFns finds the package's codec functions.
+func discoverWireFns(pkg *Package) []*wireFn {
+	var out []*wireFn
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			verb, suffix, side, ok := wireVerb(fd.Name.Name)
+			if !ok {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			switch side {
+			case sideEnc:
+				n := sig.Results().Len()
+				if n == 0 || !isByteSlice(sig.Results().At(n-1).Type()) {
+					continue
+				}
+			case sideDec:
+				has := false
+				for i := 0; i < sig.Params().Len(); i++ {
+					if isByteSlice(sig.Params().At(i).Type()) {
+						has = true
+					}
+				}
+				if !has {
+					continue
+				}
+			}
+			out = append(out, &wireFn{Pkg: pkg, Decl: fd, Obj: obj, Side: side, Verb: verb, Suffix: suffix})
+		}
+	}
+	return out
+}
+
+// ---------- layout tables ----------
+
+type wireEntryKind int
+
+const (
+	entryField wireEntryKind = iota
+	entrySub
+	entryGroup
+)
+
+// wireEntry is one layout-table row: a field, a nested sub-codec call, or
+// a conditional/repeated group.
+type wireEntry struct {
+	Kind  wireEntryKind
+	Name  string // field or variable name feeding/consuming the bytes
+	Tag   bool   // compile-time constant value (magic/option-kind byte)
+	Off   int    // byte offset from the message start; -1 unknown/variable
+	Rel   bool   // Off counts from an enclosing group origin, not message start
+	Width int    // bytes; -1 variable
+	BE    bool   // multi-byte big-endian
+	Sub   string // entrySub: suffix of the nested codec pair
+	GKind string // entryGroup: "if", "case", or "rep"
+	Label string // entryGroup: rendered guard / count expression
+	Kids  []wireEntry
+	Pos   token.Position
+
+	ord int // sort anchor: position in the byte stream for ordering
+}
+
+// exempt entries are documentation-only: constant tag bytes and unnamed
+// guard reads take no part in encoder/decoder agreement checks.
+func (e *wireEntry) exempt() bool {
+	return e.Kind == entryField && (e.Tag || e.Name == "")
+}
+
+// wireTable is the extracted layout of one codec side.
+type wireTable struct {
+	Fn      *wireFn
+	Entries []wireEntry
+	// FixedWidth is the total encoded width when the layout is fully
+	// concrete (no groups or variable-width entries); -1 otherwise.
+	FixedWidth int
+	// HasOffParam marks decoders following the (b []byte, off int)
+	// convention: offsets are relative to off and the int result returns
+	// off+FixedWidth.
+	HasOffParam bool
+}
+
+// wirePrefixEnd returns the end of the table's fixed prefix: the region
+// covered by concrete fixed-width entries before the first group or
+// variable entry. Only this region is offset-comparable.
+func (t *wireTable) wirePrefixEnd() int {
+	end := 0
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Kind == entryGroup || e.Off < 0 || e.Width < 0 {
+			break
+		}
+		if e.Off+e.Width > end {
+			end = e.Off + e.Width
+		}
+	}
+	return end
+}
+
+// ---------- shared expression helpers ----------
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// wireConstInt evaluates a compile-time constant integer expression.
+func wireConstInt(pkg *Package, e ast.Expr) (int, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, ok := constant.Int64Val(v)
+	return int(n), ok
+}
+
+// wireAffine decomposes an integer expression into var + const, looking
+// known variables up through lookup (which may be nil). ok is false when
+// the expression is not affine in at most one unknown variable.
+func wireAffine(pkg *Package, lookup func(types.Object) (int, bool), e ast.Expr) (v types.Object, c int, ok bool) {
+	e = ast.Unparen(e)
+	if n, ok := wireConstInt(pkg, e); ok {
+		return nil, n, true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := objOf(pkg.Info, x)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return nil, 0, false
+		}
+		if lookup != nil {
+			if n, known := lookup(obj); known {
+				return nil, n, true
+			}
+		}
+		return obj, 0, true
+	case *ast.CallExpr:
+		// Integer conversions (int(x), uint16(x)) are transparent.
+		if isConversion(pkg, x) && len(x.Args) == 1 {
+			if b, ok := pkg.Info.Types[x].Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return wireAffine(pkg, lookup, x.Args[0])
+			}
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return nil, 0, false
+		}
+		lv, lc, lok := wireAffine(pkg, lookup, x.X)
+		rv, rc, rok := wireAffine(pkg, lookup, x.Y)
+		if !lok || !rok {
+			return nil, 0, false
+		}
+		if x.Op == token.SUB {
+			if rv != nil {
+				return nil, 0, false
+			}
+			return lv, lc - rc, true
+		}
+		switch {
+		case lv == nil:
+			return rv, lc + rc, true
+		case rv == nil:
+			return lv, lc + rc, true
+		}
+	}
+	return nil, 0, false
+}
+
+// byteOrderCall matches binary.BigEndian/LittleEndian PutUintN,
+// AppendUintN, and UintN calls, returning the method kind, the encoded
+// width in bytes, and the endianness.
+func byteOrderCall(pkg *Package, call *ast.CallExpr) (op string, width int, be bool, ok bool) {
+	f := calleeFunc(pkg, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "encoding/binary" {
+		return "", 0, false, false
+	}
+	name := f.Name()
+	for _, p := range []string{"PutUint", "AppendUint", "Uint"} {
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		bits, err := strconv.Atoi(strings.TrimPrefix(name, p))
+		if err != nil || bits%8 != 0 {
+			return "", 0, false, false
+		}
+		return strings.TrimSuffix(p, "Uint"), bits / 8, strings.Contains(types.ExprString(call.Fun), "BigEndian"), true
+	}
+	return "", 0, false, false
+}
+
+func builtinName(pkg *Package, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// wireName names the value feeding an encoder write: the innermost
+// selector's field, else the first variable identifier. Compile-time
+// constants are rendered as-is and flagged as tags.
+func wireName(pkg *Package, e ast.Expr) (name string, isConst bool) {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return types.ExprString(ast.Unparen(e)), true
+	}
+	var sel, id string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			sel = x.Sel.Name
+			return false
+		case *ast.Ident:
+			if id == "" {
+				if _, ok := objOf(pkg.Info, x).(*types.Var); ok {
+					id = x.Name
+				}
+			}
+		}
+		return true
+	})
+	if sel != "" {
+		return sel, false
+	}
+	return id, false
+}
+
+// lhsName names an assignment target: `x` → x, `p.Seq` → Seq.
+func lhsName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return ""
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// ---------- extraction driver ----------
+
+// wireXtract extracts (and memoizes) the layout tables of one package's
+// codecs; sub-codec calls resolve through byObj.
+type wireXtract struct {
+	pkg    *Package
+	fns    []*wireFn
+	byObj  map[*types.Func]*wireFn
+	tables map[*wireFn]*wireTable
+	busy   map[*wireFn]bool
+}
+
+func newWireXtract(pkg *Package) *wireXtract {
+	x := &wireXtract{
+		pkg:    pkg,
+		fns:    discoverWireFns(pkg),
+		byObj:  make(map[*types.Func]*wireFn),
+		tables: make(map[*wireFn]*wireTable),
+		busy:   make(map[*wireFn]bool),
+	}
+	for _, fn := range x.fns {
+		x.byObj[fn.Obj] = fn
+	}
+	return x
+}
+
+// table extracts (once) the layout table of a codec. Recursive codec
+// cycles yield a nil table.
+func (x *wireXtract) table(fn *wireFn) *wireTable {
+	if t, ok := x.tables[fn]; ok {
+		return t
+	}
+	if x.busy[fn] {
+		return nil
+	}
+	x.busy[fn] = true
+	defer delete(x.busy, fn)
+	var t *wireTable
+	if fn.Side == sideEnc {
+		t = x.extractEnc(fn)
+	} else {
+		t = x.extractDec(fn)
+	}
+	finishWireTable(t)
+	x.tables[fn] = t
+	return t
+}
+
+func finishWireTable(t *wireTable) {
+	// Stable-sort by stream position so checksum back-patches land at
+	// their true offset, before variable tails appended earlier or later.
+	es := t.Entries
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].ord < es[j-1].ord; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	t.FixedWidth = 0
+	for i := range es {
+		e := &es[i]
+		if e.Kind == entryGroup || e.Off < 0 || e.Width < 0 {
+			t.FixedWidth = -1
+			return
+		}
+		if e.Off+e.Width > t.FixedWidth {
+			t.FixedWidth = e.Off + e.Width
+		}
+	}
+}
+
+// subWidth returns the fixed encoded width of a codec function, or -1.
+func (x *wireXtract) subWidth(fn *wireFn) int {
+	if t := x.table(fn); t != nil {
+		return t.FixedWidth
+	}
+	return -1
+}
+
+// calleeWireFn resolves a call to a same-package codec of the given side.
+func (x *wireXtract) calleeWireFn(call *ast.CallExpr, side wireSide) *wireFn {
+	f := calleeFunc(x.pkg, call)
+	if f == nil {
+		return nil
+	}
+	if wf, ok := x.byObj[f]; ok && wf.Side == side {
+		return wf
+	}
+	return nil
+}
+
+// ---------- encoder extraction ----------
+
+type encWalk struct {
+	x   *wireXtract
+	fn  *wireFn
+	buf types.Object // the []byte being built
+	cur int          // next append offset; -1 unknown
+	out []wireEntry
+	// anchor tracks the last known stream position for ordering entries
+	// added while cur is unknown.
+	anchor int
+}
+
+func (x *wireXtract) extractEnc(fn *wireFn) *wireTable {
+	w := &encWalk{x: x, fn: fn, buf: findEncBuffer(x.pkg, fn.Decl)}
+	if w.buf != nil {
+		w.stmt(fn.Decl.Body)
+	} else {
+		// Dispatcher (e.g. Serialize): no buffer of its own; record the
+		// sub-codec structure only.
+		w.cur = -1
+		w.stmt(fn.Decl.Body)
+	}
+	return &wireTable{Fn: fn, Entries: w.out}
+}
+
+// findEncBuffer locates the []byte an encoder builds: the variable
+// assigned from make([]byte, …) or reassigned through append.
+func findEncBuffer(pkg *Package, fd *ast.FuncDecl) types.Object {
+	var buf types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if buf != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objOf(pkg.Info, id)
+		if obj == nil || !isByteSlice(obj.Type()) {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case builtinName(pkg, call) == "make":
+			buf = obj
+		case builtinName(pkg, call) == "append" && len(call.Args) > 0:
+			if a0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && objOf(pkg.Info, a0) == obj {
+				buf = obj
+			}
+		default:
+			if op, _, _, ok := byteOrderCall(pkg, call); ok && op == "Append" {
+				if a0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && objOf(pkg.Info, a0) == obj {
+					buf = obj
+				}
+			}
+		}
+		return true
+	})
+	return buf
+}
+
+func (w *encWalk) pkg() *Package { return w.x.pkg }
+
+// add records a field/sub entry at the given offset and returns the next
+// cursor position.
+func (w *encWalk) add(e wireEntry, n ast.Node) {
+	if e.Off >= 0 {
+		e.ord = e.Off
+		if e.Width > 0 && e.Off+e.Width > w.anchor {
+			w.anchor = e.Off + e.Width
+		} else if e.Off > w.anchor {
+			w.anchor = e.Off
+		}
+	} else {
+		e.ord = w.anchor
+	}
+	e.Pos = position(w.pkg(), n)
+	if e.Kind == entryField && e.Off >= 0 && e.Width > 0 {
+		// A concrete write over already-recorded bytes is the checksum
+		// back-patch idiom: it replaces the placeholder entries.
+		kept := w.out[:0]
+		for _, k := range w.out {
+			if k.Kind == entryField && k.Off >= 0 && k.Width > 0 &&
+				k.Off >= e.Off && k.Off+k.Width <= e.Off+e.Width {
+				continue
+			}
+			kept = append(kept, k)
+		}
+		w.out = kept
+	}
+	w.out = append(w.out, e)
+}
+
+func (w *encWalk) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			w.stmt(t)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == 1 && len(vs.Values) == 1 {
+					w.assign(vs.Names[0], vs.Values[0])
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				w.indexStore(ix, s.Rhs[0])
+				return
+			}
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				w.assign(id, s.Rhs[0])
+			}
+		}
+	case *ast.ExprStmt:
+		w.callStmt(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.retExpr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.group("if", types.ExprString(s.Cond), s.Body)
+		if s.Else != nil {
+			w.group("if", "else", s.Else)
+		}
+	case *ast.ForStmt:
+		label := ""
+		if s.Cond != nil {
+			label = types.ExprString(s.Cond)
+		}
+		w.group("rep", label, s.Body)
+	case *ast.RangeStmt:
+		w.group("rep", "range "+types.ExprString(s.X), s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			w.group("case", caseLabel(cc), &ast.BlockStmt{List: cc.Body})
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			w.group("case", caseLabel(cc), &ast.BlockStmt{List: cc.Body})
+		}
+	}
+}
+
+func caseLabel(cc *ast.CaseClause) string {
+	if len(cc.List) == 0 {
+		return "default"
+	}
+	parts := make([]string, len(cc.List))
+	for i, e := range cc.List {
+		parts[i] = types.ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (w *encWalk) group(kind, label string, body ast.Stmt) {
+	sub := &encWalk{x: w.x, fn: w.fn, buf: w.buf}
+	sub.stmt(body)
+	if len(sub.out) == 0 {
+		return
+	}
+	g := wireEntry{
+		Kind: entryGroup, GKind: kind, Label: label,
+		Off: w.cur, Rel: true, Width: -1, Kids: sub.out,
+		Pos: position(w.pkg(), body),
+	}
+	if g.Off >= 0 {
+		g.ord = g.Off
+	} else {
+		g.ord = w.anchor
+	}
+	w.out = append(w.out, g)
+	w.cur = -1
+}
+
+func (w *encWalk) assign(id *ast.Ident, rhs ast.Expr) {
+	obj := objOf(w.pkg().Info, id)
+	if obj == nil || obj != w.buf {
+		return
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		w.cur = -1
+		return
+	}
+	switch {
+	case builtinName(w.pkg(), call) == "make":
+		if len(call.Args) >= 2 {
+			if n, ok := wireConstInt(w.pkg(), call.Args[1]); ok {
+				// Zero-filled zone: writes land via PutUintN / b[i]=.
+				w.cur = n
+				w.anchor = 0
+				return
+			}
+		}
+		w.cur = -1
+	case builtinName(w.pkg(), call) == "append":
+		w.appendArgs(call)
+	default:
+		if op, width, be, ok := byteOrderCall(w.pkg(), call); ok && op == "Append" && len(call.Args) == 2 {
+			name, isConst := wireName(w.pkg(), call.Args[1])
+			w.add(wireEntry{Kind: entryField, Name: name, Tag: isConst, Off: w.cur, Width: width, BE: be}, call)
+			if w.cur >= 0 {
+				w.cur += width
+			}
+			return
+		}
+		if sub := w.x.calleeWireFn(call, sideEnc); sub != nil && sub != w.fn {
+			width := w.x.subWidth(sub)
+			w.add(wireEntry{Kind: entrySub, Sub: sub.Suffix, Off: w.cur, Width: width}, call)
+			if w.cur >= 0 && width >= 0 {
+				w.cur += width
+			} else {
+				w.cur = -1
+			}
+			return
+		}
+		w.cur = -1
+	}
+}
+
+func (w *encWalk) appendArgs(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	a0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || objOf(w.pkg().Info, a0) != w.buf {
+		w.cur = -1
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		name, _ := wireName(w.pkg(), call.Args[len(call.Args)-1])
+		w.add(wireEntry{Kind: entryField, Name: name, Off: w.cur, Width: -1}, call)
+		w.cur = -1
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		name, isConst := wireName(w.pkg(), arg)
+		w.add(wireEntry{Kind: entryField, Name: name, Tag: isConst, Off: w.cur, Width: 1}, arg)
+		if w.cur >= 0 {
+			w.cur++
+		}
+	}
+}
+
+func (w *encWalk) indexStore(ix *ast.IndexExpr, rhs ast.Expr) {
+	id, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok || objOf(w.pkg().Info, id) != w.buf {
+		return
+	}
+	off := -1
+	if n, ok := wireConstInt(w.pkg(), ix.Index); ok {
+		off = n
+	}
+	name, isConst := wireName(w.pkg(), rhs)
+	w.add(wireEntry{Kind: entryField, Name: name, Tag: isConst, Off: off, Width: 1}, ix)
+}
+
+// callStmt handles statement-level writes: PutUintN back-patches.
+func (w *encWalk) callStmt(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	op, width, be, ok := byteOrderCall(w.pkg(), call)
+	if !ok || op != "Put" || len(call.Args) != 2 {
+		return
+	}
+	off := -1
+	switch a0 := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		if objOf(w.pkg().Info, a0) == w.buf {
+			off = 0
+		}
+	case *ast.SliceExpr:
+		if id, ok := ast.Unparen(a0.X).(*ast.Ident); ok && objOf(w.pkg().Info, id) == w.buf {
+			if a0.Low == nil {
+				off = 0
+			} else if n, ok := wireConstInt(w.pkg(), a0.Low); ok {
+				off = n
+			}
+		}
+	}
+	if off < 0 && w.bufInExpr(call.Args[0]) {
+		// A write through the buffer at a non-constant offset.
+		off = -1
+	} else if off < 0 {
+		return
+	}
+	name, isConst := wireName(w.pkg(), call.Args[1])
+	w.add(wireEntry{Kind: entryField, Name: name, Tag: isConst, Off: off, Width: width, BE: be}, call)
+}
+
+func (w *encWalk) bufInExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(w.pkg().Info, id) == w.buf {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *encWalk) retExpr(r ast.Expr) {
+	call, ok := ast.Unparen(r).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if builtinName(w.pkg(), call) == "append" {
+		w.appendArgs(call)
+		return
+	}
+	if sub := w.x.calleeWireFn(call, sideEnc); sub != nil && sub != w.fn {
+		w.add(wireEntry{Kind: entrySub, Sub: sub.Suffix, Off: w.cur, Width: w.x.subWidth(sub)}, call)
+		w.cur = -1
+	}
+}
+
+// ---------- decoder extraction ----------
+
+type decWalk struct {
+	x  *wireXtract
+	fn *wireFn
+	// root is the []byte parameter holding the whole message.
+	root types.Object
+	// base maps []byte variables to their known start offset within the
+	// message (b → 0, `rest := b[93:]` → 93).
+	base map[types.Object]int
+	// iv maps integer variables to known constant values (offset
+	// accumulators: `off++`, and the int results of (b, off) sub-decoders).
+	iv     map[types.Object]int
+	out    []wireEntry
+	anchor int
+	rel    bool // inside a repeat group: offsets are group-relative
+}
+
+func (x *wireXtract) extractDec(fn *wireFn) *wireTable {
+	w := &decWalk{x: x, fn: fn, base: make(map[types.Object]int), iv: make(map[types.Object]int)}
+	t := &wireTable{Fn: fn}
+	sig := fn.Obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isByteSlice(params.At(i).Type()) {
+			w.root = params.At(i)
+			w.base[params.At(i)] = 0
+			break
+		}
+	}
+	// (b []byte, off int) convention: reads are relative to off.
+	if params.Len() >= 2 && isByteSlice(params.At(0).Type()) {
+		if basic, ok := params.At(1).Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Int {
+			w.iv[params.At(1)] = 0
+			t.HasOffParam = true
+		}
+	}
+	w.stmt(fn.Decl.Body)
+	t.Entries = w.out
+	return t
+}
+
+func (w *decWalk) pkg() *Package { return w.x.pkg }
+
+func (w *decWalk) lookup(o types.Object) (int, bool) {
+	n, ok := w.iv[o]
+	return n, ok
+}
+
+func (w *decWalk) add(e wireEntry, n ast.Node) {
+	if e.Off >= 0 {
+		e.ord = e.Off
+		if e.Width > 0 && e.Off+e.Width > w.anchor {
+			w.anchor = e.Off + e.Width
+		} else if e.Off > w.anchor {
+			w.anchor = e.Off
+		}
+	} else {
+		e.ord = w.anchor
+	}
+	e.Rel = e.Rel || w.rel
+	e.Pos = position(w.pkg(), n)
+	w.out = append(w.out, e)
+}
+
+// baseOf resolves the message offset of a slice expression: a tracked
+// ident, or ident[lo:…] with affine lo. ok is false when unknown.
+func (w *decWalk) baseOf(e ast.Expr) (int, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		b, ok := w.base[objOf(w.pkg().Info, x)]
+		return b, ok
+	case *ast.SliceExpr:
+		id, ok := ast.Unparen(x.X).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		b, ok := w.base[objOf(w.pkg().Info, id)]
+		if !ok {
+			return 0, false
+		}
+		if x.Low == nil {
+			return b, true
+		}
+		if v, c, ok := wireAffine(w.pkg(), w.lookup, x.Low); ok && v == nil {
+			return b + c, true
+		}
+	}
+	return 0, false
+}
+
+func (w *decWalk) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			w.stmt(t)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, nm := range vs.Names {
+					if i < len(vs.Values) {
+						w.assignOne(nm, vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		w.assignStmt(s)
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			obj := objOf(w.pkg().Info, id)
+			if n, ok := w.iv[obj]; ok {
+				if s.Tok == token.INC {
+					w.iv[obj] = n + 1
+				} else {
+					w.iv[obj] = n - 1
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if sub := w.x.calleeWireFn(call, sideDec); sub != nil && sub != w.fn {
+				w.subCall(nil, call, sub)
+				return
+			}
+		}
+		w.scan(s.X, "")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r, "")
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scan(s.Cond, "")
+		w.condGroup("if", types.ExprString(s.Cond), s.Body)
+		if s.Else != nil {
+			w.condGroup("if", "else", s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		label := ""
+		if s.Cond != nil {
+			label = types.ExprString(s.Cond)
+			w.scan(s.Cond, "")
+		}
+		body := s.Body
+		if s.Post != nil {
+			body = &ast.BlockStmt{List: append(append([]ast.Stmt{}, s.Body.List...), s.Post)}
+		}
+		w.repGroup(label, body)
+	case *ast.RangeStmt:
+		w.scan(s.X, "")
+		w.repGroup("range "+types.ExprString(s.X), s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, "")
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				w.scan(e, "")
+			}
+			w.condGroup("case", caseLabel(cc), &ast.BlockStmt{List: cc.Body})
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			w.condGroup("case", caseLabel(cc), &ast.BlockStmt{List: cc.Body})
+		}
+	}
+}
+
+// condGroup walks a once-executed branch: the environment carries over
+// (offsets stay absolute) and survives, since straight-line code after an
+// if rarely depends on branch-local reassignments in this style of code.
+func (w *decWalk) condGroup(kind, label string, body ast.Stmt) {
+	sub := &decWalk{x: w.x, fn: w.fn, root: w.root, base: copyMap(w.base), iv: copyMap(w.iv), anchor: w.anchor, rel: w.rel}
+	sub.stmt(body)
+	if len(sub.out) == 0 {
+		return
+	}
+	g := wireEntry{
+		Kind: entryGroup, GKind: kind, Label: label, Off: -1, Width: -1,
+		Kids: sub.out, Pos: position(w.pkg(), body), ord: w.anchor,
+	}
+	w.out = append(w.out, g)
+}
+
+// repGroup walks a loop body with a fresh relative origin: slices the
+// body reslices restart at offset 0 of the repeated element, and
+// variables the body reassigns become unknown afterwards.
+func (w *decWalk) repGroup(label string, body *ast.BlockStmt) {
+	assigned := collectAssigned(w.pkg(), body)
+	sub := &decWalk{x: w.x, fn: w.fn, root: w.root, base: copyMap(w.base), iv: copyMap(w.iv), rel: true}
+	for obj := range assigned {
+		if isByteSlice(obj.Type()) {
+			sub.base[obj] = 0
+		} else {
+			delete(sub.base, obj)
+			delete(sub.iv, obj)
+		}
+	}
+	sub.stmt(body)
+	for obj := range assigned {
+		delete(w.base, obj)
+		delete(w.iv, obj)
+	}
+	if len(sub.out) == 0 {
+		return
+	}
+	g := wireEntry{
+		Kind: entryGroup, GKind: "rep", Label: label, Off: -1, Rel: true, Width: -1,
+		Kids: sub.out, Pos: position(w.pkg(), body), ord: w.anchor,
+	}
+	w.out = append(w.out, g)
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// collectAssigned returns every object assigned (or inc/dec'd) in the
+// statement tree.
+func collectAssigned(pkg *Package, body ast.Stmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	note := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := objOf(pkg.Info, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				note(l)
+			}
+		case *ast.IncDecStmt:
+			note(s.X)
+		case *ast.RangeStmt:
+			note(s.Key)
+			if s.Value != nil {
+				note(s.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *decWalk) assignStmt(s *ast.AssignStmt) {
+	// Sub-decoder call: `m.Session, off, err = readTuple(b, 12)`.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if sub := w.x.calleeWireFn(call, sideDec); sub != nil && sub != w.fn {
+				w.subCall(s.Lhs, call, sub)
+				return
+			}
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			w.scan(s.Rhs[i], lhsName(s.Lhs[i]))
+		}
+		for i := range s.Lhs {
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				w.update(id, s.Rhs[i], s.Tok)
+			}
+		}
+		return
+	}
+	// Multi-value call/comma-ok: scan reads, kill targets.
+	for _, r := range s.Rhs {
+		w.scan(r, "")
+	}
+	for _, l := range s.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			obj := objOf(w.pkg().Info, id)
+			delete(w.base, obj)
+			delete(w.iv, obj)
+		}
+	}
+}
+
+// assignOne handles `var x = rhs` declarations.
+func (w *decWalk) assignOne(id *ast.Ident, rhs ast.Expr) {
+	w.scan(rhs, lhsName(id))
+	w.update(id, rhs, token.DEFINE)
+}
+
+// update maintains the constant environments across one assignment.
+func (w *decWalk) update(id *ast.Ident, rhs ast.Expr, tok token.Token) {
+	obj := objOf(w.pkg().Info, id)
+	if obj == nil {
+		return
+	}
+	if tok != token.ASSIGN && tok != token.DEFINE {
+		// Compound assignment: only += / -= of constants keep iv alive.
+		if n, known := w.iv[obj]; known && (tok == token.ADD_ASSIGN || tok == token.SUB_ASSIGN) {
+			if v, c, ok := wireAffine(w.pkg(), w.lookup, rhs); ok && v == nil {
+				if tok == token.ADD_ASSIGN {
+					w.iv[obj] = n + c
+				} else {
+					w.iv[obj] = n - c
+				}
+				return
+			}
+		}
+		delete(w.base, obj)
+		delete(w.iv, obj)
+		return
+	}
+	if isByteSlice(obj.Type()) {
+		if b, ok := w.baseOf(rhs); ok {
+			w.base[obj] = b
+		} else {
+			delete(w.base, obj)
+		}
+		return
+	}
+	if v, c, ok := wireAffine(w.pkg(), w.lookup, rhs); ok && v == nil {
+		w.iv[obj] = c
+		return
+	}
+	delete(w.iv, obj)
+}
+
+// subCall records a nested decoder call and propagates the returned
+// next-offset of (b []byte, off int) decoders.
+func (w *decWalk) subCall(lhs []ast.Expr, call *ast.CallExpr, sub *wireFn) {
+	t := w.x.table(sub)
+	var byteArg ast.Expr
+	argIdx := -1
+	for i, a := range call.Args {
+		if tv, ok := w.pkg().Info.Types[a]; ok && isByteSlice(tv.Type) {
+			byteArg, argIdx = a, i
+			break
+		}
+	}
+	off := -1
+	if byteArg != nil {
+		if b, ok := w.baseOf(byteArg); ok {
+			off = b
+		}
+	}
+	offArg := -1
+	if t != nil && t.HasOffParam && argIdx >= 0 && argIdx+1 < len(call.Args) {
+		if v, c, ok := wireAffine(w.pkg(), w.lookup, call.Args[argIdx+1]); ok && v == nil {
+			offArg = c
+		}
+	}
+	if off >= 0 && offArg >= 0 {
+		off += offArg
+	} else if t != nil && t.HasOffParam {
+		off = -1
+	}
+	name := ""
+	if len(lhs) > 0 {
+		sig := sub.Obj.Type().(*types.Signature)
+		if sig.Results().Len() > 0 && !isErrorType(sig.Results().At(0).Type()) {
+			name = lhsName(lhs[0])
+		}
+	}
+	width := -1
+	if t != nil {
+		width = t.FixedWidth
+	}
+	w.add(wireEntry{Kind: entrySub, Sub: sub.Suffix, Name: name, Off: off, Width: width}, call)
+	// Bind the next-offset result: `x, off, err := readTuple(b, 5)` makes
+	// off a known constant when the sub-layout has a fixed width.
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			obj := objOf(w.pkg().Info, id)
+			delete(w.base, obj)
+			delete(w.iv, obj)
+		}
+	}
+	if t != nil && t.HasOffParam && t.FixedWidth >= 0 && off >= 0 && len(lhs) >= 2 {
+		if id, ok := ast.Unparen(lhs[1]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(w.pkg().Info, id); obj != nil {
+				w.iv[obj] = off + t.FixedWidth
+			}
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// scan records the byte reads inside an expression, naming them after the
+// value they flow into.
+func (w *decWalk) scan(e ast.Expr, name string) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.ParenExpr:
+		w.scan(x.X, name)
+	case *ast.UnaryExpr:
+		w.scan(x.X, name)
+	case *ast.StarExpr:
+		w.scan(x.X, name)
+	case *ast.BinaryExpr:
+		w.scan(x.X, name)
+		w.scan(x.Y, name)
+	case *ast.KeyValueExpr:
+		w.scan(x.Value, lhsName(x.Key))
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.scan(kv, name)
+			} else {
+				w.scan(el, name)
+			}
+		}
+	case *ast.SelectorExpr:
+		w.scan(x.X, name)
+	case *ast.SliceExpr:
+		w.scan(x.Low, "")
+		w.scan(x.High, "")
+	case *ast.IndexExpr:
+		w.indexRead(x, name)
+	case *ast.CallExpr:
+		w.callRead(x, name)
+	}
+}
+
+func (w *decWalk) indexRead(ix *ast.IndexExpr, name string) {
+	id, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok || !isByteSlice(w.pkg().Info.Types[ix.X].Type) {
+		w.scan(ix.X, "")
+		w.scan(ix.Index, "")
+		return
+	}
+	off := -1
+	if b, ok := w.base[objOf(w.pkg().Info, id)]; ok {
+		if v, c, ok := wireAffine(w.pkg(), w.lookup, ix.Index); ok && v == nil {
+			off = b + c
+		}
+	}
+	w.add(wireEntry{Kind: entryField, Name: name, Off: off, Width: 1}, ix)
+	w.scan(ix.Index, "")
+}
+
+func (w *decWalk) callRead(call *ast.CallExpr, name string) {
+	if op, width, be, ok := byteOrderCall(w.pkg(), call); ok && op == "" && len(call.Args) == 1 {
+		off := -1
+		if b, ok := w.baseOf(call.Args[0]); ok {
+			off = b
+		}
+		w.add(wireEntry{Kind: entryField, Name: name, Off: off, Width: width, BE: be}, call)
+		// Still scan index math inside the slice expression.
+		if se, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+			w.scan(se.Low, "")
+			w.scan(se.High, "")
+		}
+		return
+	}
+	if sub := w.x.calleeWireFn(call, sideDec); sub != nil && sub != w.fn {
+		w.subCall(nil, call, sub)
+		return
+	}
+	// Conversions are transparent to the consuming value's name.
+	if isConversion(w.pkg(), call) && len(call.Args) == 1 {
+		w.scan(call.Args[0], name)
+		return
+	}
+	// Spread of a message-derived slice: `append([]byte(nil), rest...)`
+	// consumes the remaining tail. A spread of the whole root message is
+	// the checksum-copy idiom, not a layout element.
+	if builtinName(w.pkg(), call) == "append" && call.Ellipsis.IsValid() {
+		last := ast.Unparen(call.Args[len(call.Args)-1])
+		if isByteSlice(w.pkg().Info.Types[last].Type) {
+			wholeRoot := false
+			if id, ok := last.(*ast.Ident); ok && objOf(w.pkg().Info, id) == w.root {
+				wholeRoot = true
+			}
+			if off, ok := w.baseOf(last); !wholeRoot && (ok || isSliceTail(last)) {
+				if !ok {
+					off = -1
+				}
+				w.add(wireEntry{Kind: entryField, Name: name, Off: off, Width: -1}, call)
+			}
+		}
+		for _, a := range call.Args[:len(call.Args)-1] {
+			w.scan(a, "")
+		}
+		return
+	}
+	// List accumulation (`m.List = append(m.List, elem)`) keeps the list's
+	// name on the element reads; other calls' arguments are anonymous.
+	argName := ""
+	if builtinName(w.pkg(), call) == "append" {
+		argName = name
+	}
+	for _, a := range call.Args {
+		w.scan(a, argName)
+	}
+}
+
+// isSliceTail reports whether e is an ident or ident[lo:] slice — the
+// shapes a tail-consuming spread takes even when the offset is unknown.
+func isSliceTail(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SliceExpr:
+		_, ok := ast.Unparen(x.X).(*ast.Ident)
+		return ok && x.High == nil
+	}
+	return false
+}

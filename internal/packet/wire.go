@@ -85,7 +85,8 @@ func tcpHeaderLen(o *Options) int {
 
 func appendOptions(b []byte, o *Options) []byte {
 	if o.MSS != 0 {
-		b = append(b, optMSS, 4, byte(o.MSS>>8), byte(o.MSS))
+		b = append(b, optMSS, 4)
+		b = binary.BigEndian.AppendUint16(b, o.MSS)
 	}
 	if o.WScale >= 0 {
 		b = append(b, optWScale, 3, byte(o.WScale))
@@ -152,11 +153,14 @@ func parseOptions(b []byte, o *Options) error {
 			if len(body)%8 != 0 {
 				return errors.New("packet: bad SACK option")
 			}
-			for i := 0; i < len(body); i += 8 {
+			// Consume-from-front so each read is dominated by the loop's
+			// own length guard (wiresafe proves per-index safety).
+			for len(body) >= 8 {
 				o.SACK = append(o.SACK, SACKBlock{
-					Start: binary.BigEndian.Uint32(body[i:]),
-					End:   binary.BigEndian.Uint32(body[i+4:]),
+					Start: binary.BigEndian.Uint32(body),
+					End:   binary.BigEndian.Uint32(body[4:]),
 				})
+				body = body[8:]
 			}
 		case optTimestamp:
 			if len(body) != 8 {
@@ -242,8 +246,34 @@ func (p *Packet) serializeUDP() []byte {
 }
 
 // Parse decodes wire bytes produced by Serialize back into a Packet. It
-// verifies the transport checksum and returns an error on mismatch.
+// verifies the IP header and transport checksums and returns an error on
+// mismatch. Parse never panics on truncated or malformed input (every
+// byte read inside the sub-parsers is dominated by a length guard, proven
+// by the wiresafe lint pass).
 func Parse(b []byte) (*Packet, error) {
+	p := &Packet{Opts: NoOptions()}
+	t, err := parseIP(b, p)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Tuple.Proto {
+	case ProtoTCP:
+		if err := parseTCP(t, p); err != nil {
+			return nil, err
+		}
+	case ProtoUDP:
+		if err := parseUDP(t, p); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("packet: unknown protocol %d", byte(p.Tuple.Proto))
+	}
+	return p, nil
+}
+
+// parseIP decodes and validates the 20-byte IPv4 header written by
+// serializeIP and returns the transport bytes it delimits.
+func parseIP(b []byte, p *Packet) ([]byte, error) {
 	if len(b) < 20 {
 		return nil, errors.New("packet: short IP header")
 	}
@@ -254,53 +284,61 @@ func Parse(b []byte) (*Packet, error) {
 	if total > len(b) || total < 20 {
 		return nil, errors.New("packet: bad IP total length")
 	}
-	p := &Packet{TTL: b[8], Opts: NoOptions()}
+	stored := binary.BigEndian.Uint16(b[10:])
+	var hdr [20]byte
+	copy(hdr[:], b)
+	hdr[10], hdr[11] = 0, 0
+	if got := Checksum(hdr[:]); got != stored {
+		return nil, fmt.Errorf("packet: bad IP header checksum %#04x, want %#04x", stored, got)
+	}
+	p.TTL = b[8]
 	p.Tuple.Proto = Proto(b[9])
 	p.Tuple.SrcIP = Addr(binary.BigEndian.Uint32(b[12:]))
 	p.Tuple.DstIP = Addr(binary.BigEndian.Uint32(b[16:]))
-	t := b[20:total]
-	switch p.Tuple.Proto {
-	case ProtoTCP:
-		if len(t) < 20 {
-			return nil, errors.New("packet: short TCP header")
-		}
-		p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
-		p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
-		p.Seq = binary.BigEndian.Uint32(t[4:])
-		p.Ack = binary.BigEndian.Uint32(t[8:])
-		hlen := int(t[12]>>4) * 4
-		if hlen < 20 || hlen > len(t) {
-			return nil, errors.New("packet: bad TCP data offset")
-		}
-		p.Flags = TCPFlags(t[13])
-		p.Window = binary.BigEndian.Uint16(t[14:])
-		p.Checksum = binary.BigEndian.Uint16(t[16:])
-		if err := parseOptions(t[20:hlen], &p.Opts); err != nil {
-			return nil, err
-		}
-		if hlen < len(t) {
-			p.Payload = append([]byte(nil), t[hlen:]...)
-		}
-		if err := verifyTransportChecksum(p.Tuple, t, 16); err != nil {
-			return nil, err
-		}
-	case ProtoUDP:
-		if len(t) < 8 {
-			return nil, errors.New("packet: short UDP header")
-		}
-		p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
-		p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
-		p.Checksum = binary.BigEndian.Uint16(t[6:])
-		if len(t) > 8 {
-			p.Payload = append([]byte(nil), t[8:]...)
-		}
-		if err := verifyTransportChecksum(p.Tuple, t, 6); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("packet: unknown protocol %d", b[9])
+	return b[20:total], nil
+}
+
+// parseTCP decodes the transport bytes written by serializeTCP.
+func parseTCP(t []byte, p *Packet) error {
+	if len(t) < 20 {
+		return errors.New("packet: short TCP header")
 	}
-	return p, nil
+	p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
+	p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
+	p.Seq = binary.BigEndian.Uint32(t[4:])
+	p.Ack = binary.BigEndian.Uint32(t[8:])
+	hlen := int(t[12]>>4) * 4
+	if hlen < 20 || hlen > len(t) {
+		return errors.New("packet: bad TCP data offset")
+	}
+	p.Flags = TCPFlags(t[13])
+	p.Window = binary.BigEndian.Uint16(t[14:])
+	p.Checksum = binary.BigEndian.Uint16(t[16:])
+	if err := parseOptions(t[20:hlen], &p.Opts); err != nil {
+		return err
+	}
+	if hlen < len(t) {
+		p.Payload = append([]byte(nil), t[hlen:]...)
+	}
+	return verifyTransportChecksum(p.Tuple, t, 16)
+}
+
+// parseUDP decodes the transport bytes written by serializeUDP.
+func parseUDP(t []byte, p *Packet) error {
+	if len(t) < 8 {
+		return errors.New("packet: short UDP header")
+	}
+	p.Tuple.SrcPort = Port(binary.BigEndian.Uint16(t[0:]))
+	p.Tuple.DstPort = Port(binary.BigEndian.Uint16(t[2:]))
+	ulen := int(binary.BigEndian.Uint16(t[4:]))
+	if ulen != len(t) {
+		return fmt.Errorf("packet: bad UDP length %d, want %d", ulen, len(t))
+	}
+	p.Checksum = binary.BigEndian.Uint16(t[6:])
+	if len(t) > 8 {
+		p.Payload = append([]byte(nil), t[8:]...)
+	}
+	return verifyTransportChecksum(p.Tuple, t, 6)
 }
 
 func verifyTransportChecksum(t FiveTuple, transport []byte, csumOff int) error {

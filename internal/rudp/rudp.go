@@ -31,6 +31,34 @@ const (
 	headerLen = 7
 )
 
+// appendFrame renders one frame: magic(2) | u8 kind | u32 seq | payload.
+func appendFrame(b []byte, kind byte, seq uint32, payload []byte) []byte {
+	b = append(b, magic0, magic1, kind)
+	b = binary.BigEndian.AppendUint32(b, seq)
+	b = append(b, payload...)
+	return b
+}
+
+// parseFrame decodes a frame written by appendFrame. Frames arrive off
+// the wire, so a short header, bad magic, or unknown kind byte is an
+// error, never a panic or a silent fall-through (every read is dominated
+// by a length guard, proven by the wiresafe lint pass). The returned
+// payload aliases b.
+func parseFrame(b []byte) (kind byte, seq uint32, payload []byte, err error) {
+	if len(b) < headerLen {
+		return 0, 0, nil, errors.New("rudp: short frame")
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return 0, 0, nil, errors.New("rudp: bad frame magic")
+	}
+	kind = b[2]
+	if kind != kindData && kind != kindAck {
+		return 0, 0, nil, fmt.Errorf("rudp: unknown frame kind %d", kind)
+	}
+	seq = binary.BigEndian.Uint32(b[3:])
+	return kind, seq, b[headerLen:], nil
+}
+
 // Config tunes a connection.
 type Config struct {
 	// RTO is the initial retransmission timeout (default 5 ms; the
@@ -109,7 +137,10 @@ func (e *Endpoint) Dial(addr packet.Addr, port packet.Port) *Conn {
 }
 
 func (e *Endpoint) input(p *packet.Packet) {
-	if len(p.Payload) < headerLen || p.Payload[0] != magic0 || p.Payload[1] != magic1 {
+	kind, seq, payload, err := parseFrame(p.Payload)
+	if err != nil {
+		// Not an rudp frame, or malformed: reject before any connection
+		// state is created for the peer.
 		return
 	}
 	k := peerKey{p.Tuple.SrcIP, p.Tuple.SrcPort}
@@ -121,11 +152,9 @@ func (e *Endpoint) input(p *packet.Packet) {
 			e.OnConn(c)
 		}
 	}
-	kind := p.Payload[2]
-	seq := binary.BigEndian.Uint32(p.Payload[3:7])
 	switch kind {
 	case kindData:
-		c.onData(seq, p.Payload[headerLen:])
+		c.onData(seq, payload)
 	case kindAck:
 		c.onAck(seq)
 	}
@@ -209,10 +238,7 @@ func (c *Conn) transmit(seq uint32, msg []byte, retries int) {
 }
 
 func (c *Conn) emit(kind byte, seq uint32, payload []byte) {
-	buf := make([]byte, headerLen, headerLen+len(payload))
-	buf[0], buf[1], buf[2] = magic0, magic1, kind
-	binary.BigEndian.PutUint32(buf[3:], seq)
-	buf = append(buf, payload...)
+	buf := appendFrame(make([]byte, 0, headerLen+len(payload)), kind, seq, payload)
 	p := packet.NewUDP(packet.FiveTuple{
 		SrcIP: c.ep.Host.Addr, DstIP: c.peer.addr,
 		SrcPort: c.ep.Port, DstPort: c.peer.port,

@@ -1,0 +1,162 @@
+package rudp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// testEndpoint builds a two-host network and binds an endpoint on the
+// first host, so frames injected into input can be acked over a real link.
+func testEndpoint(tb testing.TB) (*sim.Engine, *Endpoint) {
+	tb.Helper()
+	eng := sim.NewEngine(1)
+	n := netsim.New(eng)
+	ha := n.AddHost("a", packet.MakeAddr(10, 0, 0, 1))
+	hb := n.AddHost("b", packet.MakeAddr(10, 0, 0, 2))
+	n.Connect(ha, hb, netsim.LinkConfig{Delay: time.Millisecond})
+	n.ComputeRoutes()
+	return eng, NewEndpoint(ha, 7000, Config{})
+}
+
+// frameFrom wraps raw frame bytes in the UDP datagram input expects.
+func frameFrom(e *Endpoint, b []byte) *packet.Packet {
+	return packet.NewUDP(packet.FiveTuple{
+		SrcIP: packet.MakeAddr(10, 0, 0, 2), DstIP: e.Host.Addr,
+		SrcPort: 9999, DstPort: e.Port,
+	}, b)
+}
+
+func TestParseFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		kind    byte
+		seq     uint32
+		payload []byte
+	}{
+		{kindData, 0, []byte("hello")},
+		{kindData, 42, nil}, // zero-length data is a valid frame
+		{kindAck, 0xffffffff, nil},
+	} {
+		b := appendFrame(nil, tc.kind, tc.seq, tc.payload)
+		kind, seq, payload, err := parseFrame(b)
+		if err != nil {
+			t.Fatalf("frame %+v: %v", tc, err)
+		}
+		if kind != tc.kind || seq != tc.seq || string(payload) != string(tc.payload) {
+			t.Errorf("frame %+v round-tripped to kind=%d seq=%d payload=%q", tc, kind, seq, payload)
+		}
+	}
+}
+
+func TestParseFrameRejectsMalformed(t *testing.T) {
+	valid := appendFrame(nil, kindData, 7, []byte("x"))
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "short frame"},
+		{"six bytes", valid[:6], "short frame"},
+		{"bad first magic", []byte{0x00, magic1, kindData, 0, 0, 0, 1}, "bad frame magic"},
+		{"bad second magic", []byte{magic0, 0x00, kindData, 0, 0, 0, 1}, "bad frame magic"},
+		{"kind zero", []byte{magic0, magic1, 0, 0, 0, 0, 1}, "unknown frame kind"},
+		{"kind three", []byte{magic0, magic1, 3, 0, 0, 0, 1}, "unknown frame kind"},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := parseFrame(tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Truncation at every header boundary errors, never panics.
+	for i := 0; i < headerLen; i++ {
+		if _, _, _, err := parseFrame(valid[:i]); err == nil {
+			t.Errorf("parseFrame accepted a %d-byte prefix", i)
+		}
+	}
+}
+
+// TestInputRejectsMalformedBeforeConnState pins the DoS guard: a frame
+// that fails parsing must not create per-peer connection state.
+func TestInputRejectsMalformedBeforeConnState(t *testing.T) {
+	eng, e := testEndpoint(t)
+	connected := 0
+	e.OnConn = func(*Conn) { connected++ }
+	for _, b := range [][]byte{
+		nil,
+		appendFrame(nil, kindData, 1, []byte("x"))[:6], // short header
+		{0x00, magic1, kindData, 0, 0, 0, 1},           // bad magic
+		{magic0, magic1, 9, 0, 0, 0, 1},                // unknown kind
+	} {
+		e.input(frameFrom(e, b))
+	}
+	eng.Run(time.Second)
+	if connected != 0 || len(e.conns) != 0 {
+		t.Errorf("malformed frames created state: OnConn=%d conns=%d", connected, len(e.conns))
+	}
+}
+
+// TestInputZeroLengthData: an empty payload in a well-formed data frame is
+// a valid (deliverable) message, not a malformed frame.
+func TestInputZeroLengthData(t *testing.T) {
+	eng, e := testEndpoint(t)
+	var got [][]byte
+	e.OnConn = func(c *Conn) {
+		c.OnMessage = func(b []byte) { got = append(got, b) }
+	}
+	e.input(frameFrom(e, appendFrame(nil, kindData, 0, nil)))
+	eng.Run(time.Second)
+	if len(e.conns) != 1 {
+		t.Fatalf("conns = %d, want 1", len(e.conns))
+	}
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("delivered %v, want one empty message", got)
+	}
+}
+
+func FuzzRudpInput(f *testing.F) {
+	f.Add(appendFrame(nil, kindData, 0, []byte("hello")))
+	f.Add(appendFrame(nil, kindAck, 1, nil))
+	f.Add([]byte{magic0, magic1})
+	f.Add([]byte{magic0, magic1, 3, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		eng, e := testEndpoint(t)
+		_, _, _, perr := parseFrame(b)
+		e.input(frameFrom(e, b))
+		if perr != nil && len(e.conns) != 0 {
+			t.Fatalf("unparseable frame created %d conn(s)", len(e.conns))
+		}
+		eng.Run(100 * time.Millisecond)
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus. Run with
+// WRITE_FUZZ_CORPUS=1 after a wire-format change.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("corpus generator; set WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRudpInput")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{
+		"data_with_payload": appendFrame(nil, kindData, 0, []byte("hello")),
+		"data_empty":        appendFrame(nil, kindData, 42, nil),
+		"ack":               appendFrame(nil, kindAck, 7, nil),
+		"short_header":      {magic0, magic1, kindData},
+		"bad_magic":         {0x00, 0x00, kindData, 0, 0, 0, 1},
+		"unknown_kind":      {magic0, magic1, 9, 0, 0, 0, 1},
+	} {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

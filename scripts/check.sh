@@ -1,12 +1,14 @@
 #!/bin/sh
 # check.sh — the full pre-merge gate: build, vet, race-enabled tests, the
-# repo's own static-analysis suite (cmd/dyscolint), the observability
-# micro-benchmark, and the fault-injection safety sweep. The lint run
-# lands its machine-readable findings in LINT_report.json and the module
-# call graph (the input to the allocfree/blockfree hot-path proofs) in
-# LINT_callgraph.txt; the benchmark's metrics summary lands in
+# repo's own static-analysis suite (cmd/dyscolint), a fuzz smoke over
+# every wire decoder, the observability micro-benchmark, and the
+# fault-injection safety sweep. The lint run lands its machine-readable
+# findings in LINT_report.json, the module call graph (the input to the
+# allocfree/blockfree hot-path proofs) in LINT_callgraph.txt, and the
+# extracted wire-format layout tables (the input to the wiresafe codec
+# proofs) in LINT_wire.txt; the benchmark's metrics summary lands in
 # BENCH_obs.json and the sweep's per-run results (event/schedule hashes,
-# oracles) in FAULT_sweep.json. CI archives all four as workflow
+# oracles) in FAULT_sweep.json. CI archives all five as workflow
 # artifacts. Everything here must pass before a change lands;
 # CI and developers run the same script.
 set -eux
@@ -18,5 +20,13 @@ go vet ./...
 go test -race ./...
 go run ./cmd/dyscolint -json ./... > LINT_report.json || { cat LINT_report.json; exit 1; }
 go run ./cmd/dyscolint -callgraph ./... > LINT_callgraph.txt
+go run ./cmd/dyscolint -wire ./... > LINT_wire.txt
+
+# Fuzz smoke: the wiresafe pass proves the decoders panic-free statically;
+# these runs pin the same claim dynamically from the checked-in corpora.
+go test ./internal/packet -run '^$' -fuzz '^FuzzPacketParse$' -fuzztime 10s
+go test ./internal/core   -run '^$' -fuzz '^FuzzSynPayload$'  -fuzztime 10s
+go test ./internal/core   -run '^$' -fuzz '^FuzzCtrlMsg$'     -fuzztime 10s
+go test ./internal/rudp   -run '^$' -fuzz '^FuzzRudpInput$'   -fuzztime 10s
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
 go run ./cmd/dyscofault -short -json FAULT_sweep.json
