@@ -15,12 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -80,16 +82,7 @@ func runShort(seed int64, obsout string) int {
 	fmt.Print(r.String())
 	fmt.Printf("(obsbench in %.1fs wall)\n", time.Since(start).Seconds())
 	if obsout != "" && hub != nil {
-		f, err := os.Create(obsout)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dyscobench:", err)
-			return 1
-		}
-		err = hub.Snapshot().WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := writeObsReport(obsout, hub); err != nil {
 			fmt.Fprintln(os.Stderr, "dyscobench:", err)
 			return 1
 		}
@@ -100,4 +93,41 @@ func runShort(seed int64, obsout string) int {
 		return 1
 	}
 	return 0
+}
+
+// obsReport is the BENCH_obs.json schema: the causal-graph summary of the
+// benchmark run (DAG hash, edge counts), the critical path of each
+// reconfiguration span, and the metrics registry (which includes the
+// critpath_len / critpath_wait_ns_* histograms folded in by ObsBench).
+type obsReport struct {
+	DagHash      string          `json:"dag_hash"`
+	Nodes        int             `json:"nodes"`
+	Edges        int             `json:"edges"`
+	MessageEdges int             `json:"message_edges"`
+	DeadEndSends int             `json:"deadend_sends"`
+	CritPaths    []*obs.CritPath `json:"critical_paths"`
+	Metrics      *obs.Metrics    `json:"metrics"`
+}
+
+// writeObsReport persists the composite observability summary.
+func writeObsReport(path string, hub *obs.Hub) error {
+	events := hub.Events()
+	dag := obs.BuildDAG(events)
+	rep := obsReport{
+		DagHash:      fmt.Sprintf("%016x", dag.DagHash()),
+		Nodes:        len(dag.Events),
+		Edges:        dag.Edges(),
+		MessageEdges: dag.MessageEdges,
+		DeadEndSends: dag.DeadEndSends,
+		CritPaths:    []*obs.CritPath{},
+		Metrics:      hub.Snapshot(),
+	}
+	for _, sp := range obs.BuildSpans(events) {
+		rep.CritPaths = append(rep.CritPaths, obs.CriticalPath(sp))
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -9,7 +9,17 @@
 //	dyscotrace -scenario statemigration        # firewall replacement, Figure 15
 //	dyscotrace -scenario chain -seed 9         # middlebox replacement in a chain
 //	dyscotrace -scenario proxyremoval -json    # machine-readable JSON lines
+//	dyscotrace -scenario chain -critical       # critical path of each reconfiguration
+//	dyscotrace -scenario chain -critical -json # same, as JSON lines (CRITPATH.json in CI)
 //	dyscotrace -list                           # scenario ids
+//
+// -critical switches the inspector to critical-path mode: for every
+// reconfiguration span it extracts the longest causal chain through the
+// happens-before DAG (Lamport-clock-matched send→recv edges plus program
+// order) from lock initiation to drain completion, validates that the
+// chain accounts the span's entire duration, and renders the per-phase /
+// per-edge wait attribution. An invalid path exits nonzero — that means
+// the clock piggybacking or edge matching is broken, not the run.
 //
 // Everything is deterministic: the same scenario and seed produce
 // byte-identical output (the JSON form is compared verbatim in tests).
@@ -33,6 +43,7 @@ func main() {
 		scenario = flag.String("scenario", "proxyremoval", "scenario id (see -list)")
 		seed     = flag.Int64("seed", 7, "simulation seed")
 		jsonOut  = flag.Bool("json", false, "emit JSON lines: events, then span summaries, then one metrics object")
+		critical = flag.Bool("critical", false, "render the critical path of each reconfiguration span (with -json: one JSON object per span)")
 		rewrites = flag.Bool("rewrites", false, "store per-packet rewrite/retransmit events in the log")
 		list     = flag.Bool("list", false, "list scenario ids")
 	)
@@ -52,6 +63,10 @@ func main() {
 	hub := env.Hub()
 	events := hub.Events()
 	spans := obs.BuildSpans(events)
+
+	if *critical {
+		os.Exit(runCritical(*scenario, *seed, spans, *jsonOut))
+	}
 
 	if *jsonOut {
 		if err := writeJSON(hub, spans); err != nil {
@@ -96,6 +111,39 @@ func main() {
 
 	fmt.Println("\n== metrics ==")
 	fmt.Print(hub.Snapshot().Dump())
+}
+
+// runCritical extracts, validates, and renders the critical path of every
+// reconfiguration span, returning the process exit code. Validation is
+// not optional: a path that fails to account the span's whole duration
+// witnesses broken clock stamping or edge matching.
+func runCritical(scenario string, seed int64, spans []*obs.Span, jsonOut bool) int {
+	cps := make([]*obs.CritPath, 0, len(spans))
+	code := 0
+	for _, sp := range spans {
+		cp := obs.CriticalPath(sp)
+		if err := cp.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "dyscotrace: invalid critical path:", err)
+			code = 1
+			continue
+		}
+		cps = append(cps, cp)
+	}
+	if jsonOut {
+		if err := obs.WriteCritPathsJSON(os.Stdout, cps); err != nil {
+			fmt.Fprintln(os.Stderr, "dyscotrace:", err)
+			return 1
+		}
+		return code
+	}
+	fmt.Printf("scenario %s seed %d\n", scenario, seed)
+	if len(cps) == 0 {
+		fmt.Println("(no reconfiguration spans)")
+	}
+	for _, cp := range cps {
+		fmt.Print(cp.FormatTree())
+	}
+	return code
 }
 
 // writeJSON emits the machine-readable form: the merged event log and the

@@ -30,9 +30,17 @@ import (
 //	off 46  deltas (36 bytes)
 //	off 82  u32  stateFrom
 //	off 86  u32  stateTo
-//	off 90  u8   n (address-list length)
-//	off 91  u16  stateLen
-//	off 93  n × u32 addr, then stateLen bytes of state
+//	off 90  u64  lc (sender's Lamport clock at this transmission)
+//	off 98  u8   n (address-list length)
+//	off 99  u16  stateLen
+//	off 101 n × u32 addr, then stateLen bytes of state
+//
+// The lc field is observability piggybacking (§ DESIGN 7): the sending
+// daemon stamps its Lamport clock per transmission, the receiver merges
+// it, and the obs hub matches send→recv happens-before edges on it. A
+// retransmission is re-stamped, so every transmission has a distinct
+// clock value. With observability off both sides carry zero and the
+// field is causally inert.
 //
 // The checksum is what lets the fault injector's linkCorrupt op degrade
 // to loss on the control plane: a flipped bit fails verification and the
@@ -41,7 +49,7 @@ import (
 
 const (
 	ctrlMagic    = 0xdc
-	ctrlFixedLen = 93
+	ctrlFixedLen = 101
 	// ctrlMaxList / ctrlMaxState bound the variable-length tails to what
 	// their length fields can carry.
 	ctrlMaxList  = 255
@@ -70,6 +78,7 @@ func encodeCtrlMsg(m *ctrlMsg) []byte {
 	b = appendDeltas(b, m.D)
 	b = binary.BigEndian.AppendUint32(b, uint32(m.StateFrom))
 	b = binary.BigEndian.AppendUint32(b, uint32(m.StateTo))
+	b = binary.BigEndian.AppendUint64(b, m.LC)
 	b = append(b, byte(len(m.NewList)))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(m.State)))
 	for _, a := range m.NewList {
@@ -120,8 +129,9 @@ func decodeCtrlMsg(b []byte) (*ctrlMsg, error) {
 	}
 	m.StateFrom = packet.Addr(binary.BigEndian.Uint32(b[82:]))
 	m.StateTo = packet.Addr(binary.BigEndian.Uint32(b[86:]))
-	n := int(b[90])
-	stateLen := int(binary.BigEndian.Uint16(b[91:]))
+	m.LC = binary.BigEndian.Uint64(b[90:])
+	n := int(b[98])
+	stateLen := int(binary.BigEndian.Uint16(b[99:]))
 	rest := b[ctrlFixedLen:]
 	for i := 0; i < n; i++ {
 		if len(rest) < 4 {

@@ -70,6 +70,11 @@ type ctrlMsg struct {
 	StateFrom packet.Addr
 	StateTo   packet.Addr
 	State     []byte
+	// LC is the sender's Lamport clock, re-stamped by send() at every
+	// transmission (retransmissions carry fresh values, so the obs hub can
+	// tell transmissions apart when matching send→recv causal edges).
+	// Zero when observability is off.
+	LC uint64
 
 	from packet.Addr // sender host; filled by the receiver, not serialized
 }
@@ -112,12 +117,16 @@ func newDaemon(a *Agent) *daemon {
 }
 
 // send serializes and transmits a control message to the daemon on host to.
+// The Lamport clock is stamped through the EmitCtrlSend funnel before
+// encoding, so the wire carries exactly the stored send event's LC —
+// including on retransmissions, which re-enter here with the same *ctrlMsg
+// and get a fresh clock value per transmission.
 func (d *daemon) send(to packet.Addr, m *ctrlMsg) {
-	body := encodeCtrlMsg(m)
-	d.a.obs.Emit(obs.Event{
+	m.LC = d.a.obs.EmitCtrlSend(obs.Event{
 		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,
-		Detail: m.Type.String(), Dir: "send", Peer: to,
+		Detail: m.Type.String(), Dir: "send", Peer: to, Local: d.a.Host.Addr,
 	})
+	body := encodeCtrlMsg(m)
 	p := packet.NewUDP(packet.FiveTuple{
 		SrcIP: d.a.Host.Addr, DstIP: to,
 		SrcPort: DaemonPort, DstPort: DaemonPort,
@@ -133,10 +142,10 @@ func (d *daemon) handleUDP(p *packet.Packet) {
 	}
 	m := *mp
 	m.from = p.Tuple.SrcIP
-	d.a.obs.Emit(obs.Event{
+	d.a.obs.EmitCtrlRecv(obs.Event{
 		Kind: obs.KCtrl, Sess: m.Session, ReqID: m.ReqID,
-		Detail: m.Type.String(), Dir: "recv", Peer: m.from,
-	})
+		Detail: m.Type.String(), Dir: "recv", Peer: m.from, Local: d.a.Host.Addr,
+	}, m.LC)
 	switch m.Type {
 	case msgTrigger:
 		d.onTrigger(&m)

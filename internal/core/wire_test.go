@@ -38,6 +38,7 @@ func fullCtrlMsg() *ctrlMsg {
 		StateFrom: packet.MakeAddr(10, 0, 0, 30),
 		StateTo:   packet.MakeAddr(10, 0, 0, 40),
 		State:     []byte("nat-table-entry"),
+		LC:        0x123456789ab,
 	}
 }
 
@@ -109,10 +110,40 @@ func TestCtrlMsgRejectsMalformed(t *testing.T) {
 	}
 	// Address-list count larger than the bytes present.
 	b = append([]byte(nil), base...)
-	b[90]++
+	b[98]++
 	patchCtrlChecksum(b)
 	if _, err := decodeCtrlMsg(b); err == nil {
 		t.Error("inflated address-list count decoded clean")
+	}
+}
+
+// TestCtrlMsgClockField pins the Lamport-clock wire slot: offset 90,
+// 8 bytes big endian, round-tripping the full uint64 range and absent
+// (zero) when unset, with truncation at both edges of the field rejected.
+func TestCtrlMsgClockField(t *testing.T) {
+	for _, lc := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		m := fullCtrlMsg()
+		m.LC = lc
+		b := encodeCtrlMsg(m)
+		if got := binary.BigEndian.Uint64(b[90:]); got != lc {
+			t.Errorf("wire bytes [90:98] carry %#x, want %#x", got, lc)
+		}
+		got, err := decodeCtrlMsg(b)
+		if err != nil {
+			t.Fatalf("lc=%#x: %v", lc, err)
+		}
+		if got.LC != lc {
+			t.Errorf("round trip: lc=%#x decoded as %#x", lc, got.LC)
+		}
+	}
+	// A message cut anywhere inside or at the end of the clock field is a
+	// short fixed header, not a partial clock read.
+	m := &ctrlMsg{Type: msgHeartbeat, ReqID: 1, Session: testTuple(6), LC: 42}
+	b := encodeCtrlMsg(m)
+	for cut := 90; cut <= 98; cut++ {
+		if _, err := decodeCtrlMsg(b[:cut]); err == nil {
+			t.Errorf("cut at %d inside the clock field decoded clean", cut)
+		}
 	}
 }
 

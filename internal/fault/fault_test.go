@@ -86,6 +86,9 @@ func TestDeterminism(t *testing.T) {
 		if a.ScheduleHash != b.ScheduleHash {
 			t.Errorf("%s: schedule hash diverged: %s vs %s", sc, a.ScheduleHash, b.ScheduleHash)
 		}
+		if a.DagHash != b.DagHash {
+			t.Errorf("%s: happens-before DAG diverged: %s vs %s", sc, a.DagHash, b.DagHash)
+		}
 		ja, _ := json.Marshal(a)
 		jb, _ := json.Marshal(b)
 		if string(ja) != string(jb) {
@@ -126,6 +129,13 @@ func TestCtrlDropRecovery(t *testing.T) {
 	}
 	if r.Drops["fault"] < 2 {
 		t.Errorf("fault drops = %d, want >= 2 (two requestLock drops)", r.Drops["fault"])
+	}
+	// The dropped transmissions carry Lamport clocks no receiver ever saw:
+	// they must appear in the causal graph as dead-end sends, never as
+	// phantom edges (which CheckOrder — run by the causal oracle — would
+	// reject as clock regressions).
+	if r.DeadEndSends < 2 {
+		t.Errorf("deadEndSends = %d, want >= 2 (one per dropped transmission)", r.DeadEndSends)
 	}
 	hits := 0
 	for _, line := range r.Schedule {

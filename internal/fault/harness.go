@@ -16,11 +16,19 @@ type RunResult struct {
 	Seed     int64  `json:"seed"`
 
 	// EventHash is the obs hub's merged-stream hash; ScheduleHash covers
-	// the realized fault schedule. Together they witness determinism.
+	// the realized fault schedule; DagHash covers the reconstructed
+	// happens-before graph (edges included, so a matching drifted by a
+	// fault shows up even when the event stream itself is unchanged).
+	// Together they witness determinism.
 	EventHash    string `json:"eventHash"`
 	ScheduleHash string `json:"scheduleHash"`
+	DagHash      string `json:"dagHash"`
 
-	Events          uint64 `json:"events"`
+	Events uint64 `json:"events"`
+	// DeadEndSends counts control transmissions with no matched delivery:
+	// dropped or still-in-flight messages surface here as dead-end nodes,
+	// never as phantom edges.
+	DeadEndSends int `json:"deadEndSends"`
 	BytesExpected   int    `json:"bytesExpected"`
 	BytesReceived   int    `json:"bytesReceived"`
 	ReconfigsDone   int    `json:"reconfigsDone"`
@@ -79,7 +87,21 @@ func Run(scenario string, plan Plan, seed int64) (*RunResult, error) {
 		Violations:    []string{},
 		Drops:         map[string]uint64{},
 	}
-	res.Events = uint64(len(hub.Events()))
+	events := hub.Events()
+	res.Events = uint64(len(events))
+
+	// Oracle: causal sanity. Whatever the plan injected — drops, dups,
+	// reorders, crashes — the happens-before DAG reconstructed from the
+	// surviving events must order cleanly: Lamport clocks strictly
+	// increase along every edge and every edge points forward in the
+	// merged total order. A violation means faults corrupted the clock
+	// piggybacking or the send→recv matching, not that the run misbehaved.
+	dag := obs.BuildDAG(events)
+	res.DagHash = fmt.Sprintf("%016x", dag.DagHash())
+	res.DeadEndSends = dag.DeadEndSends
+	if err := dag.CheckOrder(); err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("causal: %v", err))
+	}
 
 	// Oracle: control-plane calls made by the scenario itself succeeded.
 	if *inst.ctlErr != nil {
@@ -126,7 +148,7 @@ func Run(scenario string, plan Plan, seed int64) (*RunResult, error) {
 	// Oracle: reconfiguration outcome (P3). A reqID counts as done when
 	// any anchor reached "done"; as failed when some anchor reached
 	// "failed" and none reached "done".
-	done, failed := reconfigOutcomes(hub.Events())
+	done, failed := reconfigOutcomes(events)
 	res.ReconfigsDone = len(done)
 	for _, id := range failed {
 		if !done[id] {

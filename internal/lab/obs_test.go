@@ -146,3 +146,90 @@ func TestSameSeedSameEvents(t *testing.T) {
 	// different-seed divergence assertion — TestSameSeedSameTrace already
 	// proves the seed reaches the scenario.
 }
+
+// TestCausalOrderSubrange is the property behind the happens-before DAG:
+// on a real recorded run, every causal edge (program order and matched
+// send→recv) points forward in the merged (Time, Host, Seq) total order
+// with strictly increasing Lamport clocks — causal order is a subrange
+// of the Hub's total order. Any violation is a bug in edge matching or
+// clock stamping, so CheckOrder failing here fails the build.
+func TestCausalOrderSubrange(t *testing.T) {
+	for _, seed := range []int64{7, 11} {
+		hub := observedRun(t, seed)
+		d := obs.BuildDAG(hub.Events())
+		if err := d.CheckOrder(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d.MessageEdges == 0 {
+			t.Fatalf("seed %d: no send→recv edges matched — clock piggybacking broken", seed)
+		}
+		// On a loss-free run every control transmission is delivered and
+		// observed, so no send may dangle.
+		if d.DeadEndSends != 0 {
+			t.Fatalf("seed %d: %d dead-end sends on a loss-free run", seed, d.DeadEndSends)
+		}
+		// Every ctrl recv must have been matched back to a transmission.
+		for i, e := range d.Events {
+			if e.Kind != obs.KCtrl || e.Dir != "recv" {
+				continue
+			}
+			msg := 0
+			for _, p := range d.Preds(i) {
+				if p.Kind == obs.EdgeMessage {
+					msg++
+				}
+			}
+			if msg != 1 {
+				t.Fatalf("seed %d: recv %s has %d message edges, want 1", seed, e, msg)
+			}
+		}
+		// Same run, same graph.
+		if d.DagHash() != obs.BuildDAG(hub.Events()).DagHash() {
+			t.Fatalf("seed %d: DagHash not deterministic", seed)
+		}
+	}
+}
+
+// TestCriticalPathOnRecordedRun pins the acceptance criterion: each
+// reconfiguration span's critical path is a valid causal chain whose
+// end-to-end time equals the span's Took(), crosses hosts via message
+// edges, and renders byte-identically across same-seed runs.
+func TestCriticalPathOnRecordedRun(t *testing.T) {
+	hub := observedRun(t, 7)
+	spans := obs.BuildSpans(hub.Events())
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	sp := spans[0]
+	cp := obs.CriticalPath(sp)
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, cp.FormatTree())
+	}
+	if cp.Took() != sp.Took() {
+		t.Fatalf("path took %v, span took %v", cp.Took(), sp.Took())
+	}
+	if cp.MsgWait == 0 {
+		t.Fatalf("a multi-host reconfiguration must wait on messages:\n%s", cp.FormatTree())
+	}
+	hosts := map[string]bool{}
+	for _, seg := range cp.Segments {
+		hosts[seg.Event.Host] = true
+	}
+	if len(hosts) < 2 {
+		t.Fatalf("critical path stayed on %v, want >= 2 hosts", hosts)
+	}
+	// Per-phase waits decompose the whole duration.
+	var sum sim.Time
+	for _, pw := range cp.PhaseWaits {
+		sum += pw.Wait
+	}
+	if sum != sp.Took() {
+		t.Fatalf("phase waits sum to %v, span took %v\n%s", sum, sp.Took(), cp.FormatTree())
+	}
+	// Determinism: an independent same-seed run renders the same path.
+	hub2 := observedRun(t, 7)
+	cp2 := obs.CriticalPath(obs.BuildSpans(hub2.Events())[0])
+	if cp.FormatTree() != cp2.FormatTree() {
+		t.Fatalf("critical path not deterministic:\n%s\nvs\n%s", cp.FormatTree(), cp2.FormatTree())
+	}
+}

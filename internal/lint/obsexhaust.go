@@ -38,6 +38,16 @@ type ObsSpec struct {
 	// RecorderType.EmitFunc is the emission entry point setters must call.
 	RecorderType string
 	EmitFunc     string
+	// CtrlKind names the control-message kind constant whose event
+	// literals must be built inside a call to one of CtrlEmitFuncs (the
+	// clock-stamping funnels): a raw Emit(Event{Kind: KCtrl, …}) leaves
+	// the wire Lamport clock unstamped, so the causal DAG cannot match
+	// the send→recv edge. LCField is the clock field an emitter would
+	// have to set explicitly to claim the stamping duty itself. Empty
+	// CtrlKind or CtrlEmitFuncs disables the check.
+	CtrlKind      string
+	CtrlEmitFuncs []string
+	LCField       string
 }
 
 // DefaultObsSpec describes internal/obs.
@@ -46,6 +56,9 @@ func DefaultObsSpec() ObsSpec {
 		PkgSuffix: "internal/obs", KindType: "Kind",
 		EventType: "Event", KindField: "Kind",
 		RecorderType: "Recorder", EmitFunc: "Emit",
+		CtrlKind:      "KCtrl",
+		CtrlEmitFuncs: []string{"EmitCtrlSend", "EmitCtrlRecv"},
+		LCField:       "LC",
 	}
 }
 
@@ -68,6 +81,7 @@ func CheckObsExhaust(pkgs []*Package, spec ObsSpec, fsmSpecs []FSMSpec) []Findin
 	var out []Finding
 	out = append(out, checkKindCoverage(pkgs, spec)...)
 	out = append(out, checkSetterEmits(pkgs, spec, fsmSpecs)...)
+	out = append(out, checkCtrlFunnel(pkgs, spec)...)
 	return out
 }
 
@@ -134,9 +148,18 @@ func checkKindCoverage(pkgs []*Package, spec ObsSpec) []Finding {
 // event composite literal, or "" when cl is not one (or the field is not
 // constant). Both keyed and positional literals count.
 func eventKindValue(pkg *Package, spec ObsSpec, cl *ast.CompositeLit) string {
+	v, _ := eventLitKind(pkg, spec, cl)
+	return v
+}
+
+// eventLitKind resolves an event composite literal to its constant kind
+// value and the event's defining package (for looking up sibling
+// constants like the control kind). Returns ("", nil) when cl is not an
+// event literal with a constant kind.
+func eventLitKind(pkg *Package, spec ObsSpec, cl *ast.CompositeLit) (string, *types.Package) {
 	tv, ok := pkg.Info.Types[cl]
 	if !ok {
-		return ""
+		return "", nil
 	}
 	t := tv.Type
 	if p, ok := t.(*types.Pointer); ok {
@@ -145,11 +168,11 @@ func eventKindValue(pkg *Package, spec ObsSpec, cl *ast.CompositeLit) string {
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Name() != spec.EventType || named.Obj().Pkg() == nil ||
 		!pathHasSuffix(named.Obj().Pkg().Path(), spec.PkgSuffix) {
-		return ""
+		return "", nil
 	}
 	st, ok := named.Underlying().(*types.Struct)
 	if !ok {
-		return ""
+		return "", nil
 	}
 	kindIdx := -1
 	for i := 0; i < st.NumFields(); i++ {
@@ -171,10 +194,10 @@ func eventKindValue(pkg *Package, spec ObsSpec, cl *ast.CompositeLit) string {
 			continue
 		}
 		if vt, ok := pkg.Info.Types[val]; ok && vt.Value != nil {
-			return vt.Value.ExactString()
+			return vt.Value.ExactString(), named.Obj().Pkg()
 		}
 	}
-	return ""
+	return "", nil
 }
 
 // checkSetterEmits requires each FSM setter to contain at least one call
@@ -229,6 +252,112 @@ func findSetterDecl(pkg *Package, fs FSMSpec) *ast.FuncDecl {
 		}
 	}
 	return nil
+}
+
+// checkCtrlFunnel requires every control-message event literal (Kind ==
+// the CtrlKind constant) in an emitter package to be built directly
+// inside a call to one of the blessed clock-stamping funnels
+// (CtrlEmitFuncs on the recorder type). Anywhere else — a raw
+// Emit(Event{Kind: KCtrl, …}), a literal stashed in a variable first —
+// the wire Lamport clock would go out unstamped (or stamped by hand,
+// unverifiable), and the causal DAG could not match the send→recv edge.
+// A literal that sets the clock field explicitly is exempt: the emitter
+// visibly took the stamping duty itself.
+func checkCtrlFunnel(pkgs []*Package, spec ObsSpec) []Finding {
+	if spec.CtrlKind == "" || len(spec.CtrlEmitFuncs) == 0 {
+		return nil
+	}
+	funnel := map[string]bool{}
+	for _, f := range spec.CtrlEmitFuncs {
+		funnel[f] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		if pathHasSuffix(pkg.PkgPath, spec.PkgSuffix) {
+			continue // the vocabulary package owns its own funnels
+		}
+		for _, file := range pkg.Files {
+			// First pass: literals appearing directly as arguments of a
+			// blessed funnel call (value or &-of-literal).
+			blessed := map[*ast.CompositeLit]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || !funnel[fn.Name()] {
+					return true
+				}
+				r := recvNamed(fn)
+				if r == nil || r.Obj().Name() != spec.RecorderType || r.Obj().Pkg() == nil ||
+					!pathHasSuffix(r.Obj().Pkg().Path(), spec.PkgSuffix) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if ue, ok := arg.(*ast.UnaryExpr); ok {
+						arg = ue.X
+					}
+					if cl, ok := arg.(*ast.CompositeLit); ok {
+						blessed[cl] = true
+					}
+				}
+				return true
+			})
+			// Second pass: every ctrl-kind event literal must be blessed.
+			ast.Inspect(file, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				kindVal, eventPkg := eventLitKind(pkg, spec, cl)
+				if kindVal == "" || eventPkg == nil {
+					return true
+				}
+				ctrlConst, ok := eventPkg.Scope().Lookup(spec.CtrlKind).(*types.Const)
+				if !ok || kindVal != ctrlConst.Val().ExactString() {
+					return true
+				}
+				if blessed[cl] || litSetsField(cl, spec.LCField) {
+					return true
+				}
+				funnels := spec.RecorderType + "." + spec.CtrlEmitFuncs[0]
+				for _, f := range spec.CtrlEmitFuncs[1:] {
+					funnels += "/" + f
+				}
+				out = append(out, Finding{
+					Rule: "obsexhaust",
+					Pos:  position(pkg, cl),
+					Msg: fmt.Sprintf("%s event built outside the %s funnel: the wire Lamport clock stays unstamped and the causal DAG cannot match this message's send→recv edge — construct the literal inside the funnel call",
+						spec.CtrlKind, funnels),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// litSetsField reports whether a keyed composite literal explicitly sets
+// the named field.
+func litSetsField(cl *ast.CompositeLit, field string) bool {
+	if field == "" {
+		return false
+	}
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // setterCallsEmit reports whether the body calls RecorderType.EmitFunc of

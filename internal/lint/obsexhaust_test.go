@@ -155,6 +155,79 @@ func (s *Session) setLock(to LockState) {
 	}
 }
 
+// TestObsexhaustCtrlFunnel proves the clock-funnel check fires on a raw
+// KCtrl emission and stays quiet when the literal is built inside a
+// blessed funnel call (or visibly stamps the clock itself). The fixture
+// imports the real internal/obs, so constant resolution crosses packages
+// exactly as it does for internal/core.
+func TestObsexhaustCtrlFunnel(t *testing.T) {
+	bad := `
+package emit
+
+import "repro/internal/obs"
+
+func sendCtrl(r *obs.Recorder) {
+	r.Emit(obs.Event{Kind: obs.KCtrl, Detail: "requestLock", Dir: "send"})
+}
+`
+	pkg, err := getLoader(t).CheckSource("repro/fixture/emit", map[string]string{"emit.go": bad})
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	got := CheckObsExhaust([]*Package{pkg}, DefaultObsSpec(), nil)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%v", len(got), got)
+	}
+	if !strings.Contains(got[0].Msg, "KCtrl") || !strings.Contains(got[0].Msg, "EmitCtrlSend") {
+		t.Errorf("finding does not name the funnel contract: %v", got[0])
+	}
+	if got[0].Pos.Filename != "emit.go" || got[0].Pos.Line <= 0 {
+		t.Errorf("finding lacks a usable position: %v", got[0])
+	}
+
+	// Non-ctrl kinds through plain Emit stay legal.
+	otherKind := mutate(t, bad, "obs.KCtrl", "obs.KLock")
+	pkg, err = getLoader(t).CheckSource("repro/fixture/emit", map[string]string{"emit.go": otherKind})
+	if err != nil {
+		t.Fatalf("non-ctrl fixture does not type-check: %v", err)
+	}
+	if got := CheckObsExhaust([]*Package{pkg}, DefaultObsSpec(), nil); len(got) != 0 {
+		t.Fatalf("non-ctrl emission flagged:\n%v", got)
+	}
+
+	// The funnels bless their literal arguments.
+	good := `
+package emit
+
+import "repro/internal/obs"
+
+func sendCtrl(r *obs.Recorder) uint64 {
+	lc := r.EmitCtrlSend(obs.Event{Kind: obs.KCtrl, Detail: "requestLock", Dir: "send"})
+	r.EmitCtrlRecv(obs.Event{Kind: obs.KCtrl, Detail: "requestLock", Dir: "recv"}, lc)
+	return lc
+}
+`
+	pkg, err = getLoader(t).CheckSource("repro/fixture/emit", map[string]string{"emit.go": good})
+	if err != nil {
+		t.Fatalf("good fixture does not type-check: %v", err)
+	}
+	if got := CheckObsExhaust([]*Package{pkg}, DefaultObsSpec(), nil); len(got) != 0 {
+		t.Fatalf("funneled emissions flagged:\n%v", got)
+	}
+
+	// An explicit LC field is the visible claim of the stamping duty.
+	stamped := mutate(t, bad,
+		`obs.Event{Kind: obs.KCtrl, Detail: "requestLock", Dir: "send"}`,
+		`obs.Event{Kind: obs.KCtrl, LC: 7, Detail: "requestLock", Dir: "send"}`)
+	pkg, err = getLoader(t).CheckSource("repro/fixture/emit", map[string]string{"emit.go": stamped})
+	if err != nil {
+		t.Fatalf("stamped fixture does not type-check: %v", err)
+	}
+	if got := CheckObsExhaust([]*Package{pkg}, DefaultObsSpec(), nil); len(got) != 0 {
+		t.Fatalf("explicitly stamped emission flagged:\n%v", got)
+	}
+}
+
 // TestObsexhaustRealModule runs the rule over the actual module: every
 // declared obs.Kind has an emitter and both core setters emit. This is the
 // live contract, not a fixture — a failure here means the vocabulary and

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/packet"
+)
+
+// This file reconstructs the cross-host happens-before DAG of one run
+// from the merged event stream. Two edge families define causality:
+//
+//   - program order: consecutive stored events of the same host;
+//   - send→recv: a KCtrl receive event is matched to the KCtrl send
+//     event whose piggybacked Lamport clock it carries (Event.MsgLC ==
+//     send Event.LC), on the same (sender, receiver, type, reqID)
+//     endpoints.
+//
+// Matching is by exact message identity, never by proximity in time, so
+// injected faults cannot corrupt the graph: a dropped datagram's send
+// event simply has no successor (a dead-end node), a retransmission is a
+// distinct send with a distinct clock value, and a duplicated delivery
+// yields two receive events that both point back at the one transmission
+// that really caused them. Phantom edges — a receive attached to a send
+// that did not produce it — would require two stored sends of one host
+// to share a clock value, which Emit's tick-per-event rule rules out.
+
+// EdgeKind classifies a happens-before edge.
+type EdgeKind uint8
+
+const (
+	// EdgeProgram links consecutive events of one host.
+	EdgeProgram EdgeKind = iota + 1
+	// EdgeMessage links a control-message send to its receive.
+	EdgeMessage
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeProgram:
+		return "local"
+	case EdgeMessage:
+		return "msg"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Pred is one incoming happens-before edge of a DAG node.
+type Pred struct {
+	// Idx is the predecessor's index in DAG.Events.
+	Idx int32
+	// Kind says whether the edge is program order or a message.
+	Kind EdgeKind
+}
+
+// DAG is the happens-before graph over a merged event slice. Node i is
+// Events[i]; edges always point from a lower to a higher index because
+// causal order is a subrange of the (Time, Host, Seq) total order the
+// input is sorted by (CheckOrder verifies exactly that).
+type DAG struct {
+	Events []Event
+	preds  [][]Pred
+
+	// MessageEdges counts matched send→recv pairs; DeadEndSends counts
+	// control sends whose datagram never produced a receive event
+	// (dropped, corrupted, or delivered to an uninstrumented host).
+	MessageEdges int
+	DeadEndSends int
+}
+
+// sendKey identifies one control-message transmission: the endpoint
+// addresses, the message identity, and the per-transmission Lamport
+// clock the wire carried.
+type sendKey struct {
+	from, to packet.Addr
+	detail   string
+	reqID    uint64
+	lc       uint64
+}
+
+// BuildDAG reconstructs the happens-before DAG of events, which must be
+// in merged (Time, Host, Seq) order (Hub.Events, or a Span's Events —
+// any per-host subsequence works, program order being transitive).
+func BuildDAG(events []Event) *DAG {
+	d := &DAG{Events: events, preds: make([][]Pred, len(events))}
+	sends := make(map[sendKey]int32)
+	sendMatched := make(map[int32]bool)
+	lastOnHost := make(map[string]int32)
+	for i, e := range events {
+		idx := int32(i)
+		if prev, ok := lastOnHost[e.Host]; ok {
+			d.preds[i] = append(d.preds[i], Pred{Idx: prev, Kind: EdgeProgram})
+		}
+		lastOnHost[e.Host] = idx
+		if e.Kind == KCtrl && e.Dir == "send" && e.LC != 0 {
+			sends[sendKey{from: e.Local, to: e.Peer, detail: e.Detail, reqID: e.ReqID, lc: e.LC}] = idx
+		}
+	}
+	for i, e := range events {
+		if e.Kind != KCtrl || e.Dir != "recv" || e.MsgLC == 0 {
+			continue
+		}
+		k := sendKey{from: e.Peer, to: e.Local, detail: e.Detail, reqID: e.ReqID, lc: e.MsgLC}
+		if s, ok := sends[k]; ok {
+			d.preds[i] = append(d.preds[i], Pred{Idx: s, Kind: EdgeMessage})
+			d.MessageEdges++
+			sendMatched[s] = true
+		}
+	}
+	for _, idx := range sends {
+		if !sendMatched[idx] {
+			d.DeadEndSends++
+		}
+	}
+	return d
+}
+
+// Preds returns node i's incoming edges (program order first).
+func (d *DAG) Preds(i int) []Pred { return d.preds[i] }
+
+// Edges returns the total edge count.
+func (d *DAG) Edges() int {
+	n := 0
+	for _, ps := range d.preds {
+		n += len(ps)
+	}
+	return n
+}
+
+// CheckOrder verifies the two invariants that make the DAG trustworthy:
+// every edge points forward in the merged (Time, Host, Seq) total order
+// — causal order is a subrange of it — and the Lamport clock strictly
+// increases along every edge. A violation is not a property of the run;
+// it is a bug in edge matching or in clock stamping.
+func (d *DAG) CheckOrder() error {
+	for i, ps := range d.preds {
+		for _, p := range ps {
+			u, v := d.Events[p.Idx], d.Events[i]
+			if int(p.Idx) >= i {
+				return fmt.Errorf("obs: %v edge runs backward in the total order: [%d] %s !< [%d] %s",
+					p.Kind, p.Idx, u, i, v)
+			}
+			if u.Time > v.Time {
+				return fmt.Errorf("obs: %v edge runs backward in time: %s -> %s", p.Kind, u, v)
+			}
+			if u.LC != 0 && v.LC != 0 && u.LC >= v.LC {
+				return fmt.Errorf("obs: Lamport clock not increasing along %v edge: %s -> %s", p.Kind, u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DagHash digests the graph — nodes in merged order, then every edge —
+// with FNV-1a. It is the structural analogue of EventsHash: two runs
+// with equal event streams but differently matched edges hash apart.
+func (d *DAG) DagHash() uint64 {
+	h := fnv.New64a()
+	for _, e := range d.Events {
+		h.Write([]byte(e.String()))
+		h.Write([]byte{'\n'})
+	}
+	for i, ps := range d.preds {
+		for _, p := range ps {
+			fmt.Fprintf(h, "edge %d->%d %s\n", p.Idx, i, p.Kind)
+		}
+	}
+	return h.Sum64()
+}

@@ -133,6 +133,8 @@ type eventJSON struct {
 	Host   string `json:"host"`
 	Kind   string `json:"kind"`
 	Seq    uint64 `json:"seq"`
+	LC     uint64 `json:"lc,omitempty"`
+	MsgLC  uint64 `json:"msglc,omitempty"`
 	Sess   string `json:"sess,omitempty"`
 	ReqID  uint64 `json:"reqid,omitempty"`
 	From   string `json:"from,omitempty"`
@@ -140,6 +142,7 @@ type eventJSON struct {
 	Detail string `json:"detail,omitempty"`
 	Dir    string `json:"dir,omitempty"`
 	Peer   string `json:"peer,omitempty"`
+	Local  string `json:"local,omitempty"`
 	Bytes  int    `json:"bytes,omitempty"`
 }
 
@@ -150,6 +153,8 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Host:   e.Host,
 		Kind:   e.Kind.String(),
 		Seq:    e.Seq,
+		LC:     e.LC,
+		MsgLC:  e.MsgLC,
 		ReqID:  e.ReqID,
 		From:   e.From,
 		To:     e.To,
@@ -162,6 +167,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	if e.Peer != 0 {
 		j.Peer = e.Peer.String()
+	}
+	if e.Local != 0 {
+		j.Local = e.Local.String()
 	}
 	return json.Marshal(j)
 }

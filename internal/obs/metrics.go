@@ -169,9 +169,10 @@ type metricsJSON struct {
 	Histograms map[string]histJSON `json:"histograms"`
 }
 
-// WriteJSON writes the registry as one JSON object (deterministic:
-// object keys are sorted by the encoder).
-func (m *Metrics) WriteJSON(w io.Writer) error {
+// MarshalJSON renders the registry as one JSON object (deterministic:
+// object keys are sorted by the encoder). Nil-safe, so composite report
+// structs can embed a possibly-nil *Metrics.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
 	out := metricsJSON{
 		Counters:   map[string]uint64{},
 		Histograms: map[string]histJSON{},
@@ -196,7 +197,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 			}
 		}
 	}
-	b, err := json.MarshalIndent(out, "", "  ")
+	return json.Marshal(out)
+}
+
+// WriteJSON writes the registry as one indented JSON object.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -218,6 +224,12 @@ const (
 	// MTCPRetransmits / MTCPTimeouts count TCP loss-recovery actions.
 	MTCPRetransmits = "tcp_retransmits"
 	MTCPTimeouts    = "tcp_rtos"
+	// MCritPathLen is the critical-path segment count per reconfiguration
+	// span (ObserveCritPaths).
+	MCritPathLen = "critpath_len"
+	// MCritPathWaitPrefix prefixes the per-phase critical-path wait
+	// histograms: MCritPathWaitPrefix + PhaseLock is "critpath_wait_ns_lock".
+	MCritPathWaitPrefix = "critpath_wait_ns_"
 )
 
 // RewriteLatencyBounds are the default buckets for MRewriteLatency:
@@ -227,3 +239,11 @@ func RewriteLatencyBounds() []float64 { return stats.ExpBounds(64, 2, 14) }
 // ReconfigDurationBounds are the default buckets for MReconfigDuration:
 // 0.25 ms doubling to ~2 s.
 func ReconfigDurationBounds() []float64 { return stats.ExpBounds(0.25, 2, 13) }
+
+// CritPathLenBounds are the default buckets for MCritPathLen: 1 segment
+// doubling to 2048.
+func CritPathLenBounds() []float64 { return stats.ExpBounds(1, 2, 12) }
+
+// CritPathWaitBounds are the default buckets for the per-phase
+// MCritPathWaitPrefix histograms: 256 ns quadrupling to ~4 min.
+func CritPathWaitBounds() []float64 { return stats.ExpBounds(256, 4, 14) }

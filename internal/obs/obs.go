@@ -95,10 +95,10 @@ func Kinds() []Kind {
 	return out
 }
 
-// Event is one structured observation. Time, Host, and Seq are assigned
-// by the Recorder at emit time; emitters fill the rest. All fields are
-// values (strings are shared constants), so building an Event never
-// allocates.
+// Event is one structured observation. Time, Host, Seq, and LC are
+// assigned by the Recorder at emit time; emitters fill the rest. All
+// fields are values (strings are shared constants), so building an Event
+// never allocates.
 type Event struct {
 	Time sim.Time
 	Host string
@@ -106,6 +106,19 @@ type Event struct {
 	// orders the merged stream.
 	Seq  uint64
 	Kind Kind
+	// LC is the host's Lamport clock at emission: every stored event
+	// ticks the clock, and control-message receipt merges the sender's
+	// clock first, so LC strictly increases along every happens-before
+	// edge (program order and send→recv). Stamped by Emit.
+	LC uint64
+	// MsgLC is, for KCtrl receive events, the Lamport clock the received
+	// datagram carried on the wire — the LC of the matching send event.
+	// The causal DAG matches send→recv edges on it (EmitCtrlRecv).
+	MsgLC uint64
+	// Local is the emitting host's own address for KCtrl events; with
+	// Peer it names the (sender, receiver) address pair that identifies
+	// a message's endpoints without a name↔address table.
+	Local packet.Addr
 	// Sess identifies the session (IDLeft for Dysco sessions, the local
 	// tuple for TCP events); zero when not session-scoped.
 	Sess packet.FiveTuple
@@ -128,6 +141,12 @@ type Event struct {
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12v %-10s %-13s", e.Time, e.Host, e.Kind)
+	if e.LC != 0 {
+		fmt.Fprintf(&b, " lc=%d", e.LC)
+	}
+	if e.MsgLC != 0 {
+		fmt.Fprintf(&b, " mlc=%d", e.MsgLC)
+	}
 	if e.ReqID != 0 {
 		fmt.Fprintf(&b, " rc=%d", e.ReqID)
 	}
@@ -156,6 +175,34 @@ func (e Event) String() string {
 // is set; counts keep accumulating past it.
 const DefaultLimit = 200_000
 
+// Clock is a Lamport logical clock: Tick before (or at) every local
+// event, Merge with the remote value carried by every received message.
+// Together they make the clock consistent with happens-before — if a
+// causally precedes b then a's LC is strictly below b's — while staying
+// a single uint64 with no allocation or wall-time dependence, so ticking
+// it on the packet hot path is free.
+type Clock struct {
+	v uint64
+}
+
+// Tick advances the clock for a local event and returns the new value.
+func (c *Clock) Tick() uint64 {
+	c.v++
+	return c.v
+}
+
+// Merge folds a remote clock value in: the local clock becomes at least
+// remote, so the next Tick produces a value strictly above both. Merging
+// is monotone, idempotent, and commutative (max).
+func (c *Clock) Merge(remote uint64) {
+	if remote > c.v {
+		c.v = remote
+	}
+}
+
+// Now returns the current clock value without ticking.
+func (c *Clock) Now() uint64 { return c.v }
+
 // Recorder is the per-host event sink. The zero value is not usable;
 // obtain one from Hub.Recorder. A nil *Recorder is a valid disabled
 // recorder: every method is a no-op.
@@ -169,6 +216,10 @@ type Recorder struct {
 	limit    int
 	events   []Event
 	seq      uint64
+	// clock is this host's Lamport clock: ticked by every counted
+	// emission, merged by EmitCtrlRecv with the value each control
+	// datagram piggybacks.
+	clock Clock
 	// counts[k] counts emissions of Kind k, including those dropped by
 	// the storage limit (so counters stay exact under truncation).
 	counts    [kindCount + 1]uint64
@@ -190,6 +241,10 @@ func (r *Recorder) Emit(e Event) {
 		return
 	}
 	r.counts[e.Kind]++
+	// The clock ticks even when storage is full: wire clock values
+	// (EmitCtrlSend) must stay unique and increasing per host whether or
+	// not the event survived truncation.
+	r.clock.Tick()
 	if len(r.events) >= r.limit {
 		r.truncated = true
 		return
@@ -197,9 +252,45 @@ func (r *Recorder) Emit(e Event) {
 	e.Time = r.eng.Now()
 	e.Host = r.host
 	e.Seq = r.seq
+	e.LC = r.clock.Now()
 	r.seq++
 	//lint:ignore allocfree event storage is the recorder's one deliberate allocation: nil and disabled-kind recorders return before reaching it, which is exactly the configuration TestRewritePathZeroAlloc pins at zero allocs per rewrite
 	r.events = append(r.events, e)
+}
+
+// EmitCtrlSend is the blessed funnel for control-message send events: it
+// records e (ticking the clock) and returns the clock value the caller
+// must piggyback on the outgoing datagram. The returned value equals the
+// stored event's LC, which is what lets the hub match the receiver's
+// MsgLC back to exactly this transmission — a retransmission goes
+// through the funnel again and gets a fresh, distinguishable value.
+// Returns 0 on a nil receiver (observability off: the wire carries a
+// zero clock, and Merge with zero is a no-op at the receiver).
+//
+// dyscolint's obsexhaust rule enforces that KCtrl event literals are
+// built only inside calls to this funnel (or EmitCtrlRecv): a raw
+// Emit(Event{Kind: KCtrl, …}) would leave the wire clock unstamped and
+// the causal DAG unable to match the edge.
+func (r *Recorder) EmitCtrlSend(e Event) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.Emit(e)
+	return r.clock.Now()
+}
+
+// EmitCtrlRecv is the blessed funnel for control-message receive events:
+// it merges the clock value the datagram carried (wireLC), stamps it
+// into the event's MsgLC for send→recv edge matching, and records the
+// event — whose own LC, ticked after the merge, is therefore strictly
+// above the matching send's. No-op on a nil receiver.
+func (r *Recorder) EmitCtrlRecv(e Event, wireLC uint64) {
+	if r == nil {
+		return
+	}
+	r.clock.Merge(wireLC)
+	e.MsgLC = wireLC
+	r.Emit(e)
 }
 
 // Disable turns the given kinds off (events are neither stored nor

@@ -7,10 +7,12 @@
 # allocfree/blockfree hot-path proofs) in LINT_callgraph.txt, and the
 # extracted wire-format layout tables (the input to the wiresafe codec
 # proofs) in LINT_wire.txt; the benchmark's metrics summary lands in
-# BENCH_obs.json and the sweep's per-run results (event/schedule hashes,
-# oracles) in FAULT_sweep.json. CI archives all five as workflow
-# artifacts. Everything here must pass before a change lands;
-# CI and developers run the same script.
+# BENCH_obs.json (with the causal DAG hash and critical-path summary) and
+# the sweep's per-run results (event/schedule/DAG hashes, oracles) in
+# FAULT_sweep.json; the per-scenario reconfiguration critical paths land
+# in CRITPATH.json, gated on byte-identical re-extraction. CI archives
+# all six as workflow artifacts. Everything here must pass before a
+# change lands; CI and developers run the same script.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -30,3 +32,16 @@ go test ./internal/core   -run '^$' -fuzz '^FuzzCtrlMsg$'     -fuzztime 10s
 go test ./internal/rudp   -run '^$' -fuzz '^FuzzRudpInput$'   -fuzztime 10s
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
 go run ./cmd/dyscofault -short -json FAULT_sweep.json
+
+# Critical-path determinism gate: for every scenario, extract the
+# reconfiguration critical paths twice with the same seed and require
+# byte-identical JSON (dyscotrace itself exits nonzero if any path fails
+# causal validation). The concatenation is archived as CRITPATH.json.
+: > CRITPATH.json
+for sc in proxyremoval chain statemigration; do
+    go run ./cmd/dyscotrace -scenario "$sc" -critical -json > CRITPATH.run1.json
+    go run ./cmd/dyscotrace -scenario "$sc" -critical -json > CRITPATH.run2.json
+    cmp CRITPATH.run1.json CRITPATH.run2.json
+    cat CRITPATH.run1.json >> CRITPATH.json
+    rm CRITPATH.run1.json CRITPATH.run2.json
+done
