@@ -151,23 +151,18 @@ type Stats struct {
 	SessionsCollected uint64
 }
 
-// rewriteEntry maps an observed five-tuple to its rewrite, with the delta
-// and option translations of §3.4/§4.2.
+// rewriteEntry maps an observed five-tuple to its rewrite: the embedded
+// Rule carries the delta and option translations of §3.4/§4.2 (the pure
+// kernel shared with internal/dataplane), and the remaining fields are
+// the simulation-side routing/tracking state around it.
 type rewriteEntry struct {
-	to   packet.FiveTuple
+	Rule
 	sess *Session
 	// dirRight: the packet travels client→server.
 	dirRight bool
 	// deliver: after ingress rewrite, hand the packet to the local stack
 	// (end-host or TCP-terminating proxy) instead of the packet App.
 	deliver bool
-	// Ingress translations.
-	seqAdd int64 // incoming stream position delta
-	tsAdd  int64 // incoming TS.Val delta
-	// Egress translations.
-	ackAdd         int64 // outgoing ack (and SACK block) delta
-	tsEcrAdd       int64 // outgoing TS.Ecr delta
-	winFrom, winTo int8  // outgoing window rescale
 	// anchorSide marks entries on an anchor's session side so the data
 	// path maintains the §3.5 counters.
 	anchorTrack bool
@@ -474,12 +469,12 @@ func (a *Agent) continueChain(p *packet.Packet, sess *Session) {
 	sess.SubRight = sub
 	sess.RightHost = next
 	// Forward: session (right side id) → subsession.
-	a.egress[sess.IDRight] = &rewriteEntry{to: sub, sess: sess, dirRight: true, anchorTrack: sess.IsLeftEnd()}
+	a.egress[sess.IDRight] = &rewriteEntry{Rule: Rule{To: sub}, sess: sess, dirRight: true, anchorTrack: sess.IsLeftEnd()}
 	// Reverse: subsession back → session. Delivery goes to the local
 	// stack unless this host runs a packet app or chains transit traffic
 	// (an edge router forwards the rewritten packet onward, §2.4).
 	a.ingress[sub.Reverse()] = &rewriteEntry{
-		to: sess.IDRight.Reverse(), sess: sess, dirRight: false,
+		Rule: Rule{To: sess.IDRight.Reverse()}, sess: sess, dirRight: false,
 		deliver: a.App == nil && !a.Cfg.TransitChaining, anchorTrack: sess.IsLeftEnd(),
 	}
 	a.attachSynPayload(p, sess)
@@ -490,37 +485,15 @@ func (a *Agent) attachSynPayload(p *packet.Packet, sess *Session) {
 	p.Payload = encodeSynPayload(&synPayload{Session: sess.IDRight, List: sess.Remainder})
 }
 
-// applyEgress rewrites an outgoing packet onto its subsession, applying
-// the §3.4 output-side delta to the acknowledgment number, SACK blocks,
-// timestamp echo, and rescaling the window.
+// applyEgress rewrites an outgoing packet onto its subsession: the shared
+// Rule kernel applies the §3.4 output-side delta to the acknowledgment
+// number, SACK blocks, timestamp echo, and rescales the window.
 func (a *Agent) applyEgress(p *packet.Packet, e *rewriteEntry) {
 	a.track(p, e, false)
 	if e.sess != nil && e.sess.Draining {
 		a.clampWindow(p, e.sess.drainWScale)
 	}
-	if e.ackAdd != 0 && p.Flags.Has(packet.FlagACK) {
-		p.Ack = packet.SeqAdd(p.Ack, e.ackAdd)
-	}
-	if !a.Cfg.DisableOptionTranslation {
-		if e.ackAdd != 0 {
-			for i := range p.Opts.SACK {
-				p.Opts.SACK[i].Start = packet.SeqAdd(p.Opts.SACK[i].Start, e.ackAdd)
-				p.Opts.SACK[i].End = packet.SeqAdd(p.Opts.SACK[i].End, e.ackAdd)
-			}
-		}
-		if e.tsEcrAdd != 0 && p.Opts.TS != nil {
-			p.Opts.TS.Ecr = uint32(int64(p.Opts.TS.Ecr) + e.tsEcrAdd)
-		}
-		if e.winFrom != e.winTo {
-			actual := uint32(p.Window) << e.winFrom
-			scaled := actual >> e.winTo
-			if scaled > 65535 {
-				scaled = 65535
-			}
-			p.Window = uint16(scaled)
-		}
-	}
-	p.RewriteTuple(e.to)
+	e.Rule.ApplyEgress(p, !a.Cfg.DisableOptionTranslation)
 	a.Stats.PacketsRewritten++
 	e.pkts++
 	e.bytes += uint64(p.DataLen())
@@ -531,16 +504,10 @@ func (a *Agent) applyEgress(p *packet.Packet, e *rewriteEntry) {
 }
 
 // applyIngress rewrites an incoming subsession packet back to the session
-// header, applying the input-side delta to the sequence number and
-// timestamp value.
+// header: the shared Rule kernel applies the input-side delta to the
+// sequence number and timestamp value.
 func (a *Agent) applyIngress(p *packet.Packet, e *rewriteEntry) {
-	if e.seqAdd != 0 {
-		p.Seq = packet.SeqAdd(p.Seq, e.seqAdd)
-	}
-	if !a.Cfg.DisableOptionTranslation && e.tsAdd != 0 && p.Opts.TS != nil {
-		p.Opts.TS.Val = uint32(int64(p.Opts.TS.Val) + e.tsAdd)
-	}
-	p.RewriteTuple(e.to)
+	e.Rule.ApplyIngress(p, !a.Cfg.DisableOptionTranslation)
 	a.track(p, e, true)
 	a.Stats.PacketsRewritten++
 	e.pkts++
@@ -711,7 +678,7 @@ func activeReconfig(e *rewriteEntry) *Reconfig {
 func (a *Agent) noteTwoPathIngress(p *packet.Packet, e *rewriteEntry, rc *Reconfig) {
 	if e.newPath {
 		if p.DataLen() > 0 || p.Flags.Has(packet.FlagFIN) {
-			seqLocal := packet.SeqAdd(p.Seq, e.seqAdd)
+			seqLocal := packet.SeqAdd(p.Seq, e.SeqAdd)
 			if !rc.hasFirstNew || packet.SeqLT(seqLocal, rc.firstNewRcvd) {
 				rc.firstNewRcvd = seqLocal
 				rc.hasFirstNew = true
@@ -758,13 +725,13 @@ func (a *Agent) ingressChainSYN(p *packet.Packet) (netsim.Verdict, bool) {
 	final := len(sess.Remainder) == 0
 	// Ingress: left subsession → session header.
 	a.ingress[p.Tuple] = &rewriteEntry{
-		to: sp.Session, sess: sess, dirRight: true,
+		Rule: Rule{To: sp.Session}, sess: sess, dirRight: true,
 		deliver: final || a.App == nil, anchorTrack: final,
 	}
 	// Egress for the reverse direction: session reverse → left subsession
 	// reverse.
 	a.egress[sp.Session.Reverse()] = &rewriteEntry{
-		to: p.Tuple.Reverse(), sess: sess, dirRight: false, anchorTrack: final,
+		Rule: Rule{To: p.Tuple.Reverse()}, sess: sess, dirRight: false, anchorTrack: final,
 	}
 	if final {
 		sess.wsOfferLocal = -1 // filled when the SYN-ACK passes on egress
@@ -870,7 +837,7 @@ func (a *Agent) EachSubsession(fn func(dir string, from, to packet.FiveTuple, pk
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 		for _, k := range keys {
 			e := side.m[k]
-			fn(side.dir, k, e.to, e.pkts, e.bytes)
+			fn(side.dir, k, e.To, e.pkts, e.bytes)
 		}
 	}
 }

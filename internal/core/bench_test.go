@@ -67,8 +67,9 @@ func BenchmarkAgentRewrite(b *testing.B) {
 	a := env.aClient
 	sess := &Session{IDLeft: packet.FiveTuple{SrcIP: 1, DstIP: 2}, IDRight: packet.FiveTuple{SrcIP: 1, DstIP: 2}}
 	e := &rewriteEntry{
-		to:   packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
-		sess: sess, ackAdd: -12345, tsEcrAdd: -77,
+		Rule: Rule{To: packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
+			AckAdd: -12345, TSEcrAdd: -77},
+		sess: sess,
 	}
 	p := packet.NewTCP(packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4},
 		packet.FlagACK, 100, 200, make([]byte, 1400))

@@ -324,13 +324,13 @@ func (d *daemon) adoptPlainSession(id packet.FiveTuple, leftSide bool) (*Session
 	if leftSide {
 		sess.RightHost = id.DstIP
 		sess.SubRight = id
-		a.egress[id] = &rewriteEntry{to: id, sess: sess, dirRight: true, anchorTrack: true}
-		a.ingress[id.Reverse()] = &rewriteEntry{to: id.Reverse(), sess: sess, dirRight: false, deliver: true, anchorTrack: true}
+		a.egress[id] = &rewriteEntry{Rule: Rule{To: id}, sess: sess, dirRight: true, anchorTrack: true}
+		a.ingress[id.Reverse()] = &rewriteEntry{Rule: Rule{To: id.Reverse()}, sess: sess, dirRight: false, deliver: true, anchorTrack: true}
 	} else {
 		sess.LeftHost = id.SrcIP
 		sess.SubLeft = id
-		a.egress[id.Reverse()] = &rewriteEntry{to: id.Reverse(), sess: sess, dirRight: false, anchorTrack: true}
-		a.ingress[id] = &rewriteEntry{to: id, sess: sess, dirRight: true, deliver: true, anchorTrack: true}
+		a.egress[id.Reverse()] = &rewriteEntry{Rule: Rule{To: id.Reverse()}, sess: sess, dirRight: false, anchorTrack: true}
+		a.ingress[id] = &rewriteEntry{Rule: Rule{To: id}, sess: sess, dirRight: true, deliver: true, anchorTrack: true}
 	}
 	a.sessions[id] = sess
 	return sess, nil
@@ -814,20 +814,23 @@ func (d *daemon) installLeftAnchorNewPath(rc *Reconfig) {
 	var to packet.FiveTuple
 	if oldIn != nil {
 		deliver = oldIn.deliver
-		to = oldIn.to
+		to = oldIn.To
 	} else {
 		to = sess.IDRight.Reverse()
 	}
 	a.ingress[rc.newSub.Reverse()] = &rewriteEntry{
-		to: to, sess: sess, dirRight: false, deliver: deliver,
+		Rule: Rule{To: to, SeqAdd: rc.Delta, TSAdd: rc.TSDelta},
+		sess: sess, dirRight: false, deliver: deliver,
 		anchorTrack: true, newPath: true,
-		seqAdd: rc.Delta, tsAdd: rc.TSDelta,
 	}
 	rc.newEgressEntry = &rewriteEntry{
-		to: rc.newSub, sess: sess, dirRight: true,
+		Rule: Rule{
+			To:     rc.newSub,
+			AckAdd: -rc.Delta, TSEcrAdd: -rc.TSDelta,
+			WinFrom: rc.WinFrom, WinTo: rc.WinTo,
+		},
+		sess: sess, dirRight: true,
 		anchorTrack: true, newPath: true,
-		ackAdd: -rc.Delta, tsEcrAdd: -rc.TSDelta,
-		winFrom: rc.WinFrom, winTo: rc.WinTo,
 	}
 	rc.oldEgressKey = sess.IDRight
 	rc.oldIngressKey = sess.SubRight.Reverse()
@@ -870,11 +873,11 @@ func (d *daemon) onNewPathSYN(m *ctrlMsg) {
 	sess.RightHost = next
 	sess.SubRight = sub
 	// Forward direction.
-	a.ingress[m.NewSub] = &rewriteEntry{to: m.Session, sess: sess, dirRight: true, deliver: a.App == nil}
-	a.egress[m.Session] = &rewriteEntry{to: sub, sess: sess, dirRight: true}
+	a.ingress[m.NewSub] = &rewriteEntry{Rule: Rule{To: m.Session}, sess: sess, dirRight: true, deliver: a.App == nil}
+	a.egress[m.Session] = &rewriteEntry{Rule: Rule{To: sub}, sess: sess, dirRight: true}
 	// Reverse direction.
-	a.ingress[sub.Reverse()] = &rewriteEntry{to: m.Session.Reverse(), sess: sess, dirRight: false, deliver: a.App == nil}
-	a.egress[m.Session.Reverse()] = &rewriteEntry{to: m.NewSub.Reverse(), sess: sess, dirRight: false}
+	a.ingress[sub.Reverse()] = &rewriteEntry{Rule: Rule{To: m.Session.Reverse()}, sess: sess, dirRight: false, deliver: a.App == nil}
+	a.egress[m.Session.Reverse()] = &rewriteEntry{Rule: Rule{To: m.NewSub.Reverse()}, sess: sess, dirRight: false}
 	d.newPathSeen[m.ReqID] = sub
 	d.newPathPrev[m.ReqID] = m.from
 	fwd := *m
@@ -899,18 +902,21 @@ func (d *daemon) newPathSYNAtRightAnchor(m *ctrlMsg) {
 	to := sess.IDLeft
 	if oldIn != nil {
 		deliver = oldIn.deliver
-		to = oldIn.to
+		to = oldIn.To
 	}
 	a.ingress[m.NewSub] = &rewriteEntry{
-		to: to, sess: sess, dirRight: true, deliver: deliver,
+		Rule: Rule{To: to, SeqAdd: rc.Delta, TSAdd: rc.TSDelta},
+		sess: sess, dirRight: true, deliver: deliver,
 		anchorTrack: true, newPath: true,
-		seqAdd: rc.Delta, tsAdd: rc.TSDelta,
 	}
 	rc.newEgressEntry = &rewriteEntry{
-		to: m.NewSub.Reverse(), sess: sess, dirRight: false,
+		Rule: Rule{
+			To:     m.NewSub.Reverse(),
+			AckAdd: -rc.Delta, TSEcrAdd: -rc.TSDelta,
+			WinFrom: rc.WinFrom, WinTo: rc.WinTo,
+		},
+		sess: sess, dirRight: false,
 		anchorTrack: true, newPath: true,
-		ackAdd: -rc.Delta, tsEcrAdd: -rc.TSDelta,
-		winFrom: rc.WinFrom, winTo: rc.WinTo,
 	}
 	rc.oldEgressKey = sess.IDLeft.Reverse()
 	rc.oldIngressKey = sess.SubLeft

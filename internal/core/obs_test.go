@@ -41,8 +41,9 @@ func TestRewritePathZeroAlloc(t *testing.T) {
 	a := env.aClient
 	sess := &Session{IDLeft: packet.FiveTuple{SrcIP: 1, DstIP: 2}, IDRight: packet.FiveTuple{SrcIP: 1, DstIP: 2}}
 	e := &rewriteEntry{
-		to:   packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
-		sess: sess, ackAdd: -12345, tsEcrAdd: -77,
+		Rule: Rule{To: packet.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6},
+			AckAdd: -12345, TSEcrAdd: -77},
+		sess: sess,
 	}
 	p := packet.NewTCP(packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4},
 		packet.FlagACK, 100, 200, make([]byte, 1400))
@@ -54,6 +55,17 @@ func TestRewritePathZeroAlloc(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(1000, func() { a.applyIngress(p, e) }); n != 0 {
 		t.Fatalf("unobserved applyIngress allocates %.1f/op", n)
+	}
+
+	// The bare shared kernel (what internal/dataplane runs per packet,
+	// with none of the agent's tracking around it) must also be clean.
+	re := &e.Rule
+	ri := &Rule{To: packet.FiveTuple{SrcIP: 2, DstIP: 1}, SeqAdd: 41, TSAdd: 13}
+	if n := testing.AllocsPerRun(1000, func() { re.ApplyEgress(p, true) }); n != 0 {
+		t.Fatalf("Rule.ApplyEgress allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { ri.ApplyIngress(p, true) }); n != 0 {
+		t.Fatalf("Rule.ApplyIngress allocates %.1f/op", n)
 	}
 
 	hub := obs.NewHub(env.eng)
@@ -80,7 +92,7 @@ func TestRewritePathZeroAlloc(t *testing.T) {
 func TestEachSubsession(t *testing.T) {
 	env := newBenchEnv(2)
 	a := env.aClient
-	e := &rewriteEntry{to: packet.FiveTuple{SrcIP: 9, DstIP: 8}}
+	e := &rewriteEntry{Rule: Rule{To: packet.FiveTuple{SrcIP: 9, DstIP: 8}}}
 	from := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
 	a.egress[from] = e
 	p := packet.NewTCP(from, packet.FlagACK, 1, 1, make([]byte, 100))
@@ -89,7 +101,7 @@ func TestEachSubsession(t *testing.T) {
 	var saw int
 	a.EachSubsession(func(dir string, f, to packet.FiveTuple, pkts, bytes uint64) {
 		saw++
-		if dir != "egress" || f != from || to != e.to || pkts != 1 || bytes != 100 {
+		if dir != "egress" || f != from || to != e.To || pkts != 1 || bytes != 100 {
 			t.Fatalf("subsession %s %v->%v pkts=%d bytes=%d", dir, f, to, pkts, bytes)
 		}
 	})
@@ -135,6 +147,8 @@ func TestHotpathHelpersZeroAlloc(t *testing.T) {
 		{"packet.Packet.RewriteTuple", func() { p.RewriteTuple(nt) }},
 		{"packet.Packet.RewriteSeqAck", func() { p.RewriteSeqAck(300, 400) }},
 		{"packet.TCPFlags.Has", func() { _ = p.Flags.Has(packet.FlagACK) }},
+		{"packet.FiveTuple.Hash", func() { _ = ft.Hash() }},
+		{"packet.Bucket", func() { _ = packet.Bucket(ft.Hash(), 64) }},
 		{"obs.Recorder.Emit(nil)", func() { nilRec.Emit(ev) }},
 		{"obs.Recorder.Emit(disabled)", func() { disabled.Emit(ev) }},
 	}
@@ -155,6 +169,12 @@ func TestHotpathRootsCoverage(t *testing.T) {
 	covered := map[string]string{
 		"internal/core.Agent.applyEgress":         "TestRewritePathZeroAlloc",
 		"internal/core.Agent.applyIngress":        "TestRewritePathZeroAlloc",
+		"internal/core.Rule.ApplyEgress":          "TestRewritePathZeroAlloc",
+		"internal/core.Rule.ApplyIngress":         "TestRewritePathZeroAlloc",
+		"internal/dataplane.worker.process":       "TestDataplaneLookupZeroAlloc",
+		"internal/dataplane.Table.Lookup":         "TestDataplaneLookupZeroAlloc",
+		"internal/packet.FiveTuple.Hash":          "TestHotpathHelpersZeroAlloc",
+		"internal/packet.Bucket":                  "TestHotpathHelpersZeroAlloc",
 		"internal/packet.SeqAdd":                  "TestHotpathHelpersZeroAlloc",
 		"internal/packet.SeqDiff":                 "TestHotpathHelpersZeroAlloc",
 		"internal/packet.SeqLT":                   "TestHotpathHelpersZeroAlloc",

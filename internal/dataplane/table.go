@@ -1,0 +1,252 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+// Dir says which side of the §3.4 translation an entry applies: Egress
+// rewrites session→subsession on the way out (ack/SACK/TS-echo deltas,
+// window rescale), Ingress rewrites subsession→session on the way in
+// (seq/TS-val deltas).
+type Dir uint8
+
+const (
+	// Egress entries run Rule.ApplyEgress.
+	Egress Dir = iota
+	// Ingress entries run Rule.ApplyIngress.
+	Ingress
+)
+
+// Entry is one installed rewrite: the shared core.Rule kernel plus the
+// direction selecting which side of it runs. Entries are immutable after
+// Install — updating a flow means installing a fresh Entry, never
+// mutating one in place — which is what makes the snapshot readers
+// torn-read-free by construction. The only mutable field is the atomic
+// last-seen epoch stamp used by idle eviction.
+type Entry struct {
+	core.Rule
+	Dir Dir
+
+	// seen is the table epoch at which a lookup last matched this entry.
+	// Written on the read path with a plain atomic store (no RMW: races
+	// between two readers stamping the same epoch are harmless).
+	seen atomic.Uint64
+}
+
+// LastSeen returns the epoch stamp of the last matching lookup.
+func (e *Entry) LastSeen() uint64 { return e.seen.Load() }
+
+// snapshot is one shard's immutable view. Readers load the current
+// snapshot with a single atomic pointer read and index the map with no
+// lock; writers build the successor map and swap the pointer.
+type snapshot struct {
+	entries map[packet.FiveTuple]*Entry
+}
+
+// shard is one power-of-two slice of the key space. The trailing pad
+// keeps neighboring shards' hit/miss counters off each other's cache
+// line: the counters are the only cross-core write traffic on the read
+// path, and false sharing there is exactly the scalability bug the
+// shard×GOMAXPROCS sweep in exp.LoadBench would surface.
+type shard struct {
+	snap atomic.Pointer[snapshot]
+
+	// mu serializes writers (Install/Remove/SweepIdle). Readers never
+	// touch it.
+	mu sync.Mutex
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	_ [64]byte
+}
+
+// Table is the sharded concurrent rewrite table. The shard for a tuple
+// is packet.Bucket(tuple.Hash(), shards): one FNV-1a hash per lookup,
+// Fibonacci-folded so sequential port allocations spread.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent. A writer fully builds the successor map before
+// snap.Store(next); a reader's snap.Load() therefore observes either the
+// complete old snapshot or the complete new one — the release/acquire
+// pair on the snapshot pointer is the entire synchronization protocol of
+// the read path, and it is what the differential oracle's torn-entry
+// check exercises under -race.
+type Table struct {
+	shards []shard
+	epoch  atomic.Uint64
+}
+
+// NewTable builds a table with the given shard count, rounded up to a
+// power of two (minimum 1).
+func NewTable(shards int) *Table {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	t := &Table{shards: make([]shard, n)}
+	for i := range t.shards {
+		t.shards[i].snap.Store(&snapshot{entries: map[packet.FiveTuple]*Entry{}})
+	}
+	return t
+}
+
+// Shards returns the shard count (a power of two).
+func (t *Table) Shards() int { return len(t.shards) }
+
+func (t *Table) shardFor(ft packet.FiveTuple) *shard {
+	return &t.shards[packet.Bucket(ft.Hash(), len(t.shards))]
+}
+
+// Lookup returns the entry installed for ft, or nil. This is the reader
+// fast path: one hash, one atomic snapshot load, one map read, one
+// atomic epoch stamp — lock-free, allocation-free, non-blocking (proven
+// by the allocfree/blockfree lint rules).
+func (t *Table) Lookup(ft packet.FiveTuple) *Entry {
+	s := &t.shards[packet.Bucket(ft.Hash(), len(t.shards))]
+	e := s.snap.Load().entries[ft]
+	if e == nil {
+		s.misses.Add(1)
+		return nil
+	}
+	e.seen.Store(t.epoch.Load())
+	s.hits.Add(1)
+	return e
+}
+
+// Install publishes e as the rewrite for ft (replacing any previous
+// entry). The caller must not mutate e afterwards. Writers copy the
+// shard's map under the shard mutex and swap the snapshot pointer, so
+// concurrent readers always see a complete table.
+func (t *Table) Install(ft packet.FiveTuple, e *Entry) {
+	e.seen.Store(t.epoch.Load())
+	s := t.shardFor(ft)
+	s.mu.Lock()
+	old := s.snap.Load().entries
+	next := make(map[packet.FiveTuple]*Entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ft] = e
+	s.snap.Store(&snapshot{entries: next})
+	s.mu.Unlock()
+}
+
+// Remove deletes the entry for ft, if any, and reports whether one was
+// removed. Readers holding the prior snapshot may still match the entry
+// until their current lookup completes; the entry's memory is reclaimed
+// by the GC once the last snapshot referencing it is dropped.
+func (t *Table) Remove(ft packet.FiveTuple) bool {
+	s := t.shardFor(ft)
+	s.mu.Lock()
+	old := s.snap.Load().entries
+	if _, ok := old[ft]; !ok {
+		s.mu.Unlock()
+		return false
+	}
+	next := make(map[packet.FiveTuple]*Entry, len(old)-1)
+	for k, v := range old {
+		if k != ft {
+			next[k] = v
+		}
+	}
+	s.snap.Store(&snapshot{entries: next})
+	s.mu.Unlock()
+	return true
+}
+
+// Len returns the total number of installed entries (consistent per
+// shard, not across shards).
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i].snap.Load().entries)
+	}
+	return n
+}
+
+// Epoch returns the current eviction epoch.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// AdvanceEpoch moves the idle-eviction clock forward one tick and
+// returns the new epoch. The control plane calls this on its own period
+// (the table has no clock of its own: inside the simulator that period
+// is virtual time, in the benchmarks it is wall time).
+func (t *Table) AdvanceEpoch() uint64 { return t.epoch.Add(1) }
+
+// SweepIdle removes every entry whose last matching lookup is at an
+// epoch <= before, returning how many were evicted. This is the idle
+// session GC: entries a reader stamps concurrently with the sweep may
+// survive one extra cycle or be evicted just after a match — both are
+// acceptable for an idle timeout, and neither can tear a snapshot.
+func (t *Table) SweepIdle(before uint64) int {
+	evicted := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		old := s.snap.Load().entries
+		stale := 0
+		for _, e := range old {
+			if e.seen.Load() <= before {
+				stale++
+			}
+		}
+		if stale > 0 {
+			next := make(map[packet.FiveTuple]*Entry, len(old)-stale)
+			for k, e := range old {
+				if e.seen.Load() > before {
+					next[k] = e
+				}
+			}
+			evicted += len(old) - len(next)
+			s.snap.Store(&snapshot{entries: next})
+		}
+		s.mu.Unlock()
+	}
+	return evicted
+}
+
+// TableStats is a point-in-time summary of the table.
+type TableStats struct {
+	Shards          int    `json:"shards"`
+	Entries         int    `json:"entries"`
+	MaxShardEntries int    `json:"max_shard_entries"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+}
+
+// Stats aggregates the per-shard counters and occupancy.
+func (t *Table) Stats() TableStats {
+	st := TableStats{Shards: len(t.shards)}
+	for i := range t.shards {
+		s := &t.shards[i]
+		n := len(s.snap.Load().entries)
+		st.Entries += n
+		if n > st.MaxShardEntries {
+			st.MaxShardEntries = n
+		}
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+	}
+	return st
+}
+
+// FillMetrics folds the table's counters and per-shard occupancy into an
+// obs metrics registry under the canonical dataplane metric names.
+func (t *Table) FillMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	st := t.Stats()
+	m.Add(obs.MDataplaneHits, st.Hits)
+	m.Add(obs.MDataplaneMisses, st.Misses)
+	occ := m.Histogram(obs.MDataplaneShardEntries, obs.DataplaneOccupancyBounds()...)
+	for i := range t.shards {
+		occ.Observe(float64(len(t.shards[i].snap.Load().entries)))
+	}
+}

@@ -1,0 +1,198 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+func testTuple(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Proto:   packet.ProtoTCP,
+		SrcIP:   packet.MakeAddr(10, 0, byte(i>>8), byte(i)),
+		DstIP:   packet.MakeAddr(10, 1, 0, 1),
+		SrcPort: packet.Port(1024 + i),
+		DstPort: 80,
+	}
+}
+
+func testEntry(i int) *Entry {
+	return &Entry{Dir: Ingress, Rule: core.Rule{
+		To:     testTuple(i).Reverse(),
+		SeqAdd: int64(i) + 1,
+	}}
+}
+
+func TestTableInstallLookupRemove(t *testing.T) {
+	tb := NewTable(8)
+	if tb.Shards() != 8 {
+		t.Fatalf("shards = %d, want 8", tb.Shards())
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		tb.Install(testTuple(i), testEntry(i))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		e := tb.Lookup(testTuple(i))
+		if e == nil {
+			t.Fatalf("entry %d missing", i)
+		}
+		if e.SeqAdd != int64(i)+1 {
+			t.Fatalf("entry %d has SeqAdd %d", i, e.SeqAdd)
+		}
+	}
+	if tb.Lookup(testTuple(n+1)) != nil {
+		t.Fatal("lookup of never-installed tuple matched")
+	}
+	// Reinstall replaces.
+	tb.Install(testTuple(0), &Entry{Dir: Egress, Rule: core.Rule{AckAdd: -9}})
+	if e := tb.Lookup(testTuple(0)); e.Dir != Egress || e.AckAdd != -9 {
+		t.Fatalf("reinstall not visible: %+v", e)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len after reinstall = %d, want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !tb.Remove(testTuple(i)) {
+			t.Fatalf("remove %d: not found", i)
+		}
+	}
+	if tb.Remove(testTuple(0)) {
+		t.Fatal("double remove succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len after removal = %d", tb.Len())
+	}
+	st := tb.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("counters not maintained: %+v", st)
+	}
+}
+
+func TestTableShardRoundsUp(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := NewTable(c.in).Shards(); got != c.want {
+			t.Errorf("NewTable(%d).Shards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTableIdleEviction: entries a lookup keeps stamping survive sweeps;
+// idle entries are collected once their last-seen epoch falls behind.
+func TestTableIdleEviction(t *testing.T) {
+	tb := NewTable(4)
+	for i := 0; i < 20; i++ {
+		tb.Install(testTuple(i), testEntry(i))
+	}
+	// Epoch 1: only flows 0..9 are active.
+	tb.AdvanceEpoch()
+	for i := 0; i < 10; i++ {
+		tb.Lookup(testTuple(i))
+	}
+	// Entries installed at epoch 0 and never matched are stale.
+	if got := tb.SweepIdle(0); got != 10 {
+		t.Fatalf("SweepIdle(0) evicted %d, want 10", got)
+	}
+	if tb.Len() != 10 {
+		t.Fatalf("Len after sweep = %d, want 10", tb.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if tb.Lookup(testTuple(i)) == nil {
+			t.Fatalf("active entry %d evicted", i)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if tb.Lookup(testTuple(i)) != nil {
+			t.Fatalf("idle entry %d survived", i)
+		}
+	}
+	// Two more idle epochs collect everything.
+	tb.AdvanceEpoch()
+	tb.AdvanceEpoch()
+	if got := tb.SweepIdle(tb.Epoch() - 1); got != 10 {
+		t.Fatalf("final sweep evicted %d, want 10", got)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after full sweep", tb.Len())
+	}
+}
+
+// TestTableConcurrentChurn hammers one table with parallel readers and
+// writers under -race: the COW snapshot protocol must keep every lookup
+// result fully consistent (matching entries are always complete).
+func TestTableConcurrentChurn(t *testing.T) {
+	tb := NewTable(8)
+	const keys = 64
+	var readersDone atomic.Bool
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !readersDone.Load(); i++ {
+				j := rng.Intn(keys)
+				if i%3 == 0 {
+					tb.Remove(testTuple(j))
+				} else {
+					tb.Install(testTuple(j), testEntry(j))
+				}
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	errc := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 20000; i++ {
+				j := rng.Intn(keys)
+				if e := tb.Lookup(testTuple(j)); e != nil {
+					// Entry fields must be exactly testEntry(j)'s: a torn
+					// entry would mix fields of different keys/versions.
+					if e.SeqAdd != int64(j)+1 || e.To != testTuple(j).Reverse() {
+						errc <- fmt.Errorf("torn entry for key %d: %+v", j, e)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	readersDone.Store(true)
+	writers.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestTableFillMetrics(t *testing.T) {
+	tb := NewTable(4)
+	for i := 0; i < 32; i++ {
+		tb.Install(testTuple(i), testEntry(i))
+	}
+	tb.Lookup(testTuple(1))
+	tb.Lookup(testTuple(10_000)) // miss
+	m := obs.NewMetrics()
+	tb.FillMetrics(m)
+	if m.Counter(obs.MDataplaneHits) != 1 || m.Counter(obs.MDataplaneMisses) != 1 {
+		t.Fatalf("hit/miss counters: %d/%d", m.Counter(obs.MDataplaneHits), m.Counter(obs.MDataplaneMisses))
+	}
+	h := m.Hist(obs.MDataplaneShardEntries)
+	if h == nil || h.N != 4 {
+		t.Fatalf("occupancy histogram: %+v", h)
+	}
+}

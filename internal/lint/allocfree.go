@@ -201,7 +201,7 @@ func scanAllocCall(pkg *Package, call *ast.CallExpr, cg *CallGraph, mod string, 
 		}
 	}
 	if fn := calleeFunc(pkg, call); fn != nil {
-		if path := funcPkgPath(fn); path != "" && !inModulePath(path, mod) {
+		if path := funcPkgPath(fn); path != "" && !inModulePath(path, mod) && !allocFreeStdPkg(path) {
 			report(call, fmt.Sprintf("call into %s cannot be proven allocation-free", lockFuncKey(fn)))
 		}
 		checkCallArgs(pkg, call, fn.Type().(*types.Signature), report)
@@ -219,6 +219,16 @@ func scanAllocCall(pkg *Package, call *ast.CallExpr, cg *CallGraph, mod string, 
 	walk(call.Fun)
 	walkArgs()
 }
+
+// allocFreeStdPkg whitelists the out-of-module packages whose exported
+// operations are allocation-free by specification, so hot code may call
+// them without breaking the proof. sync/atomic is the only member: every
+// operation compiles to a single load/store/RMW machine instruction and
+// never touches the heap — it is what the dataplane's lock-free snapshot
+// readers are built from. Argument boxing is still checked at the call
+// site (atomic.Value.Store(x) boxing x would be flagged by
+// checkCallArgs, not excused here).
+func allocFreeStdPkg(path string) bool { return path == "sync/atomic" }
 
 // checkCallArgs flags variadic argument-slice construction and interface
 // boxing of arguments. sig may be nil (unresolved interface calls — the

@@ -86,6 +86,45 @@ func root(s string, f func(), e ext) {
 	)
 }
 
+func TestAllocfreeAcceptsSyncAtomic(t *testing.T) {
+	// sync/atomic is the one whitelisted out-of-module package (single
+	// hardware instructions, no allocation) — the primitive the
+	// dataplane's snapshot readers are built from. Other stdlib calls in
+	// the same body stay flagged, and boxing a value into
+	// atomic.Value.Store is still caught by the argument scan.
+	got := checkFixture(t, AllocfreeAnalyzer, hotFixturePkg, "af.go", `
+package hot
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+type snap struct{ n int }
+
+type shard struct {
+	hits atomic.Uint64
+	cur  atomic.Pointer[snap]
+	v    atomic.Value
+}
+
+//lint:hotpath
+func root(s *shard, n int) int {
+	s.hits.Add(1)
+	s.v.Store(n)
+	if c := s.cur.Load(); c != nil {
+		return c.n
+	}
+	_ = strconv.Itoa(n)
+	return 0
+}
+`)
+	wantFindings(t, got, "allocfree",
+		"argument boxes a non-pointer value into an interface parameter",
+		"call into strconv.Itoa cannot be proven allocation-free",
+	)
+}
+
 func TestAllocfreeFollowsResolvedIfaceCalls(t *testing.T) {
 	// A resolved interface call is not flagged — and its implementation
 	// joins the region, so an allocation inside it is.

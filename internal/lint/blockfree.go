@@ -159,7 +159,7 @@ func scanBlockCall(pkg *Package, funcName string, call *ast.CallExpr, cg *CallGr
 	if fn := calleeFunc(pkg, call); fn != nil {
 		if msg := blockingStdCall(fn); msg != "" {
 			report(call, msg)
-		} else if path := funcPkgPath(fn); path != "" && !inModulePath(path, mod) {
+		} else if path := funcPkgPath(fn); path != "" && !inModulePath(path, mod) && !nonBlockingStdPkg(path) {
 			report(call, fmt.Sprintf("call into %s cannot be proven non-blocking", lockFuncKey(fn)))
 		}
 		walkRest()
@@ -168,6 +168,13 @@ func scanBlockCall(pkg *Package, funcName string, call *ast.CallExpr, cg *CallGr
 	report(call, "call through a function value cannot be proven non-blocking")
 	walkRest()
 }
+
+// nonBlockingStdPkg whitelists the out-of-module packages whose
+// operations are non-blocking by specification. sync/atomic is the only
+// member: its operations are hardware load/store/RMW instructions with
+// no lock, no park, no syscall — the primitive the dataplane's lock-free
+// snapshot readers rely on being exactly as cheap as advertised.
+func nonBlockingStdPkg(path string) bool { return path == "sync/atomic" }
 
 // blockingStdCall names well-known blocking standard-library calls; ""
 // for anything else.

@@ -92,6 +92,39 @@ func clean() {}
 	)
 }
 
+func TestBlockfreeAcceptsSyncAtomic(t *testing.T) {
+	// sync/atomic never parks a goroutine, so the whitelist admits it on
+	// the hot path; a sibling out-of-module call in the same body is
+	// still unprovable.
+	got := checkFixture(t, BlockfreeAnalyzer, hotFixturePkg, "bf.go", `
+package hot
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+type snap struct{ n int }
+
+type shard struct {
+	stop atomic.Bool
+	cur  atomic.Pointer[snap]
+}
+
+//lint:hotpath
+func root(s *shard, n int) int {
+	if s.stop.Load() {
+		return 0
+	}
+	_ = strconv.Itoa(n)
+	return s.cur.Load().n
+}
+`)
+	wantFindings(t, got, "blockfree",
+		"call into strconv.Itoa cannot be proven non-blocking",
+	)
+}
+
 // TestBlockfreeHotLockPropagates seeds a lock acquisition on the hot path
 // (which is itself a finding) and checks the second half of the rule: the
 // lock's class becomes hot, and an unrelated function that receives from

@@ -35,6 +35,17 @@ var defaultHotpathRoots = []string{
 	// rewriting in the Dysco agent).
 	"internal/core.Agent.applyEgress",
 	"internal/core.Agent.applyIngress",
+	// The shared rewrite kernel both core.Agent and the concurrent
+	// engine execute.
+	"internal/core.Rule.ApplyEgress",
+	"internal/core.Rule.ApplyIngress",
+	// The concurrent data plane's reader fast path: per-packet worker
+	// processing and the sharded table lookup under it, plus the flow
+	// bucketing primitives.
+	"internal/dataplane.worker.process",
+	"internal/dataplane.Table.Lookup",
+	"internal/packet.FiveTuple.Hash",
+	"internal/packet.Bucket",
 	// Sequence-space and tuple helpers the rewrite leans on.
 	"internal/packet.SeqAdd",
 	"internal/packet.SeqDiff",

@@ -2,6 +2,7 @@ package steering_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -51,7 +52,7 @@ func TestRuleSteeringThroughMiddlebox(t *testing.T) {
 	if mb.Host.Stats.Forwarded == 0 {
 		t.Error("middlebox saw no steered packets")
 	}
-	if sw.Hits == 0 {
+	if sw.Hits.Load() == 0 {
 		t.Error("switch rules never matched")
 	}
 	if ctl.TotalRules() != 2 {
@@ -114,10 +115,48 @@ func TestFiveTupleModifierBreaksRules(t *testing.T) {
 	p := packet.NewTCP(post, packet.FlagACK, 1, 1, nil)
 	env.Router.InjectLocal(p)
 	env.RunFor(time.Millisecond)
-	if sw.Hits != 0 {
+	if sw.Hits.Load() != 0 {
 		t.Error("rule matched a NATed packet; it must not")
 	}
-	if sw.Misses == 0 {
+	if sw.Misses.Load() == 0 {
 		t.Error("miss not counted")
+	}
+}
+
+// TestSwitchCountersConcurrentLookups drives Lookup from many goroutines
+// against a fixed rule set — the access pattern the dataplane comparison
+// benchmarks use — and checks the atomic counters lose no increments.
+// Run under -race in CI.
+func TestSwitchCountersConcurrentLookups(t *testing.T) {
+	env := lab.NewEnv(1)
+	sw := steering.NewSwitch(env.Router)
+	hit := packet.FiveTuple{Proto: packet.ProtoTCP, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+	miss := packet.FiveTuple{Proto: packet.ProtoTCP, SrcIP: 5, DstIP: 6, SrcPort: 7, DstPort: 8}
+	sw.Install(hit, packet.MakeAddr(10, 0, 0, 9))
+
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, ok := sw.Lookup(hit, 0); !ok {
+					t.Error("installed rule did not match")
+					return
+				}
+				if _, ok := sw.Lookup(miss, 0); ok {
+					t.Error("missing rule matched")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h := sw.Hits.Load(); h != goroutines*iters {
+		t.Errorf("hits = %d, want %d", h, goroutines*iters)
+	}
+	if m := sw.Misses.Load(); m != goroutines*iters {
+		t.Errorf("misses = %d, want %d", m, goroutines*iters)
 	}
 }

@@ -7,11 +7,13 @@
 # allocfree/blockfree hot-path proofs) in LINT_callgraph.txt, and the
 # extracted wire-format layout tables (the input to the wiresafe codec
 # proofs) in LINT_wire.txt; the benchmark's metrics summary lands in
-# BENCH_obs.json (with the causal DAG hash and critical-path summary) and
-# the sweep's per-run results (event/schedule/DAG hashes, oracles) in
+# BENCH_obs.json (with the causal DAG hash and critical-path summary),
+# the concurrent data-plane sweep (throughput and lookup-latency
+# quantiles over workers×shards) in BENCH_dataplane.json, and the
+# sweep's per-run results (event/schedule/DAG hashes, oracles) in
 # FAULT_sweep.json; the per-scenario reconfiguration critical paths land
 # in CRITPATH.json, gated on byte-identical re-extraction. CI archives
-# all six as workflow artifacts. Everything here must pass before a
+# all seven as workflow artifacts. Everything here must pass before a
 # change lands; CI and developers run the same script.
 set -eux
 
@@ -32,6 +34,16 @@ go test ./internal/core   -run '^$' -fuzz '^FuzzCtrlMsg$'     -fuzztime 10s
 go test ./internal/rudp   -run '^$' -fuzz '^FuzzRudpInput$'   -fuzztime 10s
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
 go run ./cmd/dyscofault -short -json FAULT_sweep.json
+
+# Concurrent data-plane gate. The differential oracle and snapshot churn
+# stress already ran under -race above (internal/dataplane is part of the
+# module test sweep); this re-runs just that package's oracle tests as an
+# explicit, greppable gate, then takes the quick-scale throughput sweep.
+# The >2x parallel-speedup check inside the sweep self-gates on hosts
+# with fewer than 4 CPUs; the GitHub runners have 4 vCPUs, so CI enforces
+# it and archives the sweep as BENCH_dataplane.json.
+go test -race -run 'TestEngine|TestTable' ./internal/dataplane
+go run ./cmd/dyscobench -dataplane -dpout BENCH_dataplane.json
 
 # Critical-path determinism gate: for every scenario, extract the
 # reconfiguration critical paths twice with the same seed and require
