@@ -16,7 +16,9 @@
 // -dataplane runs the concurrent-engine load benchmark (wall-clock, so it
 // lives outside -exp all) and, with -dpout, writes the workers×shards
 // sweep with lookup-latency quantiles as JSON — CI archives that file as
-// BENCH_dataplane.json:
+// BENCH_dataplane.json. The sweep includes the -raw wire-path comparison
+// (full Parse → rewrite → serialize round trip vs the zero-copy in-place
+// raw path) unless -raw=false:
 //
 //	dyscobench -dataplane -dpout BENCH_dataplane.json
 package main
@@ -42,6 +44,7 @@ func main() {
 		obsout = flag.String("obsout", "", "with -short: write the metrics summary JSON to this file")
 		dp     = flag.Bool("dataplane", false, "run only the concurrent data-plane load benchmark (wall-clock)")
 		dpout  = flag.String("dpout", "", "with -dataplane: write the sweep report JSON to this file")
+		raw    = flag.Bool("raw", true, "with -dataplane: include the wire-path comparison sweep (struct round trip vs zero-copy raw)")
 	)
 	flag.Parse()
 
@@ -59,7 +62,7 @@ func main() {
 		sc = exp.FullScale()
 	}
 	if *dp {
-		os.Exit(runDataplane(sc, *seed, *dpout))
+		os.Exit(runDataplane(sc, *seed, *dpout, *raw))
 	}
 	ids := []string{*id}
 	if *id == "all" {
@@ -109,9 +112,9 @@ func runShort(seed int64, obsout string) int {
 
 // runDataplane executes the concurrent-engine load benchmark and
 // optionally persists the sweep report, returning the process exit code.
-func runDataplane(sc exp.Scale, seed int64, dpout string) int {
+func runDataplane(sc exp.Scale, seed int64, dpout string, raw bool) int {
 	start := time.Now()
-	r, rep := exp.LoadBench(sc, seed)
+	r, rep := exp.LoadBench(sc, seed, raw)
 	fmt.Print(r.String())
 	fmt.Printf("(loadbench in %.1fs wall)\n", time.Since(start).Seconds())
 	if dpout != "" && rep != nil {

@@ -173,6 +173,10 @@ func TestHotpathRootsCoverage(t *testing.T) {
 		"internal/core.Rule.ApplyIngress":         "TestRewritePathZeroAlloc",
 		"internal/dataplane.worker.process":       "TestDataplaneLookupZeroAlloc",
 		"internal/dataplane.Table.Lookup":         "TestDataplaneLookupZeroAlloc",
+		"internal/dataplane.worker.processRaw":    "TestRawPathZeroAlloc",
+		"internal/dataplane.RawRule.ApplyEgress":  "TestRawPathZeroAlloc",
+		"internal/dataplane.RawRule.ApplyIngress": "TestRawPathZeroAlloc",
+		"internal/packet.ParseView":               "TestRawPathZeroAlloc",
 		"internal/packet.FiveTuple.Hash":          "TestHotpathHelpersZeroAlloc",
 		"internal/packet.Bucket":                  "TestHotpathHelpersZeroAlloc",
 		"internal/packet.SeqAdd":                  "TestHotpathHelpersZeroAlloc",

@@ -31,20 +31,20 @@ func TestRingBasics(t *testing.T) {
 	if r.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", r.Len())
 	}
-	buf := make([]*packet.Packet, 3)
+	buf := make([]item, 3)
 	if n := r.PopBatch(buf); n != 3 {
 		t.Fatalf("PopBatch = %d, want 3", n)
 	}
 	for i := 0; i < 3; i++ {
-		if buf[i] != ps[i] {
-			t.Fatalf("popped %v at %d, want %v", buf[i], i, ps[i])
+		if buf[i].p != ps[i] {
+			t.Fatalf("popped %v at %d, want %v", buf[i].p, i, ps[i])
 		}
 	}
 	if !r.Push(ps[4]) {
 		t.Fatal("push failed after pop freed slots")
 	}
-	if n := r.PopBatch(buf); n != 2 || buf[0] != ps[3] || buf[1] != ps[4] {
-		t.Fatalf("final PopBatch = %d (%v, %v)", n, buf[0], buf[1])
+	if n := r.PopBatch(buf); n != 2 || buf[0].p != ps[3] || buf[1].p != ps[4] {
+		t.Fatalf("final PopBatch = %d (%v, %v)", n, buf[0].p, buf[1].p)
 	}
 	if n := r.PopBatch(buf); n != 0 {
 		t.Fatalf("PopBatch on empty ring = %d", n)
@@ -71,7 +71,7 @@ func TestRingSPSC(t *testing.T) {
 			}
 		}
 	}()
-	buf := make([]*packet.Packet, 16)
+	buf := make([]item, 16)
 	next := uint32(0)
 	for int(next) < total {
 		n := r.PopBatch(buf)
@@ -80,8 +80,8 @@ func TestRingSPSC(t *testing.T) {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			if buf[i].Seq != next {
-				t.Fatalf("out of order: got seq %d, want %d", buf[i].Seq, next)
+			if buf[i].p.Seq != next {
+				t.Fatalf("out of order: got seq %d, want %d", buf[i].p.Seq, next)
 			}
 			next++
 		}

@@ -32,11 +32,20 @@ type Entry struct {
 	core.Rule
 	Dir Dir
 
+	// raw is the Rule compiled for the zero-copy fast path, filled in by
+	// Install (before the entry is published, so readers always see it
+	// complete). The struct and raw kernels of one entry are two
+	// lowerings of the same Rule — the equivalence RunRawDiff checks.
+	raw RawRule
+
 	// seen is the table epoch at which a lookup last matched this entry.
 	// Written on the read path with a plain atomic store (no RMW: races
 	// between two readers stamping the same epoch are harmless).
 	seen atomic.Uint64
 }
+
+// Raw returns the entry's compiled raw-path rule. Valid after Install.
+func (e *Entry) Raw() *RawRule { return &e.raw }
 
 // LastSeen returns the epoch stamp of the last matching lookup.
 func (e *Entry) LastSeen() uint64 { return e.seen.Load() }
@@ -124,6 +133,7 @@ func (t *Table) Lookup(ft packet.FiveTuple) *Entry {
 // shard's map under the shard mutex and swap the snapshot pointer, so
 // concurrent readers always see a complete table.
 func (t *Table) Install(ft packet.FiveTuple, e *Entry) {
+	e.raw = CompileRaw(&e.Rule, e.Dir)
 	e.seen.Store(t.epoch.Load())
 	s := t.shardFor(ft)
 	s.mu.Lock()

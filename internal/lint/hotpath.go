@@ -44,6 +44,13 @@ var defaultHotpathRoots = []string{
 	// bucketing primitives.
 	"internal/dataplane.worker.process",
 	"internal/dataplane.Table.Lookup",
+	// The zero-copy wire fast path: per-frame worker processing, the
+	// in-place RawRule kernels, and the bounds-validating view parse
+	// under them.
+	"internal/dataplane.worker.processRaw",
+	"internal/dataplane.RawRule.ApplyEgress",
+	"internal/dataplane.RawRule.ApplyIngress",
+	"internal/packet.ParseView",
 	"internal/packet.FiveTuple.Hash",
 	"internal/packet.Bucket",
 	// Sequence-space and tuple helpers the rewrite leans on.

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// viewPin ties one packet.Off* constant to one wiresafe-extracted layout
+// row: the named entry of the decoder's table must sit at exactly this
+// offset and width.
+type viewPin struct {
+	entry string
+	off   int
+	width int
+}
+
+// TestViewOffsetsMatchWireLayout pins the packet.View offset constants to
+// the layout tables wiresafe extracts from the real decoders
+// (parseIP/parseTCP/parseUDP). The constants are the raw fast path's
+// single source of truth for where fields sit; this test makes them
+// machine-checked against the codec itself rather than against a
+// checked-in golden — a codec change that moves a field fails here even
+// if the golden is regenerated.
+func TestViewOffsetsMatchWireLayout(t *testing.T) {
+	l := getLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, "internal", "packet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := newWireXtract(pkg)
+	tables := map[string]*wireTable{}
+	for _, fn := range discoverWireFns(pkg) {
+		if fn.Side == sideDec {
+			tables[fn.Obj.Name()] = x.table(fn)
+		}
+	}
+
+	pins := map[string][]viewPin{
+		"parseIP": {
+			{"total", packet.OffIPTotalLen, 2},
+			{"TTL", packet.OffIPTTL, 1},
+			{"Proto", packet.OffIPProto, 1},
+			{"stored", packet.OffIPCsum, 2},
+			{"SrcIP", packet.OffIPSrc, 4},
+			{"DstIP", packet.OffIPDst, 4},
+		},
+		"parseTCP": {
+			{"SrcPort", packet.OffTCPSrcPort, 2},
+			{"DstPort", packet.OffTCPDstPort, 2},
+			{"Seq", packet.OffTCPSeq, 4},
+			{"Ack", packet.OffTCPAck, 4},
+			{"hlen", packet.OffTCPDataOff, 1},
+			{"Flags", packet.OffTCPFlags, 1},
+			{"Window", packet.OffTCPWindow, 2},
+			{"Checksum", packet.OffTCPCsum, 2},
+		},
+		"parseUDP": {
+			{"SrcPort", packet.OffUDPSrcPort, 2},
+			{"DstPort", packet.OffUDPDstPort, 2},
+			{"ulen", packet.OffUDPLen, 2},
+			{"Checksum", packet.OffUDPCsum, 2},
+		},
+	}
+
+	for dec, want := range pins {
+		tbl := tables[dec]
+		if tbl == nil {
+			t.Fatalf("decoder %s not discovered in internal/packet", dec)
+		}
+		byName := map[string]wireEntry{}
+		for _, e := range tbl.Entries {
+			if e.Kind == entryField && e.Name != "" {
+				byName[e.Name] = e
+			}
+		}
+		for _, p := range want {
+			e, ok := byName[p.entry]
+			if !ok {
+				t.Errorf("%s: no extracted entry named %q (constants and codec diverged?)", dec, p.entry)
+				continue
+			}
+			if e.Off != p.off || e.Width != p.width {
+				t.Errorf("%s %s: extracted [%d:%d], constants say [%d:%d]",
+					dec, p.entry, e.Off, e.Off+e.Width, p.off, p.off+p.width)
+			}
+		}
+	}
+
+	// Derived geometry: the header lengths and the option-region origin.
+	if ip := tables["parseIP"]; ip.FixedWidth != packet.IPHeaderLen {
+		t.Errorf("parseIP fixed width %d, IPHeaderLen %d", ip.FixedWidth, packet.IPHeaderLen)
+	}
+	foundOpts := false
+	for _, e := range tables["parseTCP"].Entries {
+		if e.Kind == entrySub && e.Sub == "options" {
+			foundOpts = true
+			if e.Off != packet.OffTCPOptions {
+				t.Errorf("parseTCP options sub-codec at %d, OffTCPOptions %d", e.Off, packet.OffTCPOptions)
+			}
+		}
+	}
+	if !foundOpts {
+		t.Error("parseTCP: no <options> sub-codec entry extracted")
+	}
+	if got := packet.OffUDPCsum + 2; got != packet.UDPHeaderLen {
+		t.Errorf("UDP checksum ends at %d, UDPHeaderLen %d", got, packet.UDPHeaderLen)
+	}
+	if got := packet.OffTCPCsum + 2 + 2; got != packet.TCPFixedLen {
+		t.Errorf("TCP checksum+urgent end at %d, TCPFixedLen %d", got, packet.TCPFixedLen)
+	}
+}

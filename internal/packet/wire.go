@@ -187,62 +187,82 @@ func parseOptions(b []byte, o *Options) error {
 // Serialize renders the packet as wire bytes: 20-byte IPv4 header plus the
 // transport header (with options) and payload. The transport checksum is
 // computed over the pseudo-header as usual; the stored Checksum field is
-// updated to match.
+// updated to match. One allocation: the exact-size frame buffer.
 func (p *Packet) Serialize() []byte {
+	return p.AppendTo(make([]byte, 0, p.Size()))
+}
+
+// AppendTo appends the packet's wire bytes to b and returns the extended
+// slice, allocating only if b lacks capacity (Size() bytes are needed).
+// Feeders that serialize per packet can reuse one scratch buffer with
+// AppendTo(buf[:0]) and stop paying an allocation per frame.
+func (p *Packet) AppendTo(b []byte) []byte {
 	switch p.Tuple.Proto {
 	case ProtoTCP:
-		return p.serializeTCP()
+		b = p.appendIP(b, tcpHeaderLen(&p.Opts)+len(p.Payload))
+		return p.appendTCP(b)
 	case ProtoUDP:
-		return p.serializeUDP()
+		b = p.appendIP(b, 8+len(p.Payload))
+		return p.appendUDP(b)
 	default:
 		panic("packet: serialize of unknown protocol")
 	}
 }
 
-func (p *Packet) serializeIP(transport []byte) []byte {
-	total := 20 + len(transport)
-	b := make([]byte, 20, total)
-	b[0] = 0x45 // version 4, IHL 5
-	binary.BigEndian.PutUint16(b[2:], uint16(total))
-	b[8] = p.TTL
-	b[9] = byte(p.Tuple.Proto)
-	binary.BigEndian.PutUint32(b[12:], uint32(p.Tuple.SrcIP))
-	binary.BigEndian.PutUint32(b[16:], uint32(p.Tuple.DstIP))
-	csum := Checksum(b)
-	binary.BigEndian.PutUint16(b[10:], csum)
-	return append(b, transport...)
+// appendIP appends the 20-byte IPv4 header for a transport segment of
+// transportLen bytes. The header is built in a fixed-size local first so
+// its checksum covers the finished bytes (and so the wiresafe extractor
+// sees concrete offsets for every field, checksum back-patch included).
+func (p *Packet) appendIP(b []byte, transportLen int) []byte {
+	total := 20 + transportLen
+	hdr := make([]byte, 20)
+	hdr[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(hdr[2:], uint16(total))
+	hdr[8] = p.TTL
+	hdr[9] = byte(p.Tuple.Proto)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(p.Tuple.SrcIP))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(p.Tuple.DstIP))
+	csum := Checksum(hdr)
+	binary.BigEndian.PutUint16(hdr[10:], csum)
+	return append(b, hdr...)
 }
 
-func (p *Packet) serializeTCP() []byte {
+// appendTCP appends the TCP header (with options) and payload, then
+// back-patches the transport checksum over the appended segment.
+func (p *Packet) appendTCP(b []byte) []byte {
 	hlen := tcpHeaderLen(&p.Opts)
-	b := make([]byte, 20, hlen+len(p.Payload))
-	binary.BigEndian.PutUint16(b[0:], uint16(p.Tuple.SrcPort))
-	binary.BigEndian.PutUint16(b[2:], uint16(p.Tuple.DstPort))
-	binary.BigEndian.PutUint32(b[4:], p.Seq)
-	binary.BigEndian.PutUint32(b[8:], p.Ack)
-	b[12] = byte(hlen/4) << 4
-	b[13] = byte(p.Flags)
-	binary.BigEndian.PutUint16(b[14:], p.Window)
+	th := len(b)
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Tuple.SrcPort))
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Tuple.DstPort))
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	b = binary.BigEndian.AppendUint32(b, p.Ack)
+	b = append(b, byte(hlen/4)<<4, byte(p.Flags))
+	b = binary.BigEndian.AppendUint16(b, p.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum, back-patched below
+	b = append(b, 0, 0)                     // urgent pointer
 	b = appendOptions(b, &p.Opts)
 	b = append(b, p.Payload...)
-	ph := pseudoHeader(p.Tuple, len(b))
-	csum := Checksum(ph, b)
-	binary.BigEndian.PutUint16(b[16:], csum)
+	seg := b[th:]
+	csum := Checksum(pseudoHeader(p.Tuple, len(seg)), seg)
+	binary.BigEndian.PutUint16(seg[16:], csum)
 	p.Checksum = csum
-	return p.serializeIP(b)
+	return b
 }
 
-func (p *Packet) serializeUDP() []byte {
-	b := make([]byte, 8, 8+len(p.Payload))
-	binary.BigEndian.PutUint16(b[0:], uint16(p.Tuple.SrcPort))
-	binary.BigEndian.PutUint16(b[2:], uint16(p.Tuple.DstPort))
-	binary.BigEndian.PutUint16(b[4:], uint16(8+len(p.Payload)))
+// appendUDP appends the UDP header and payload, then back-patches the
+// transport checksum over the appended segment.
+func (p *Packet) appendUDP(b []byte) []byte {
+	th := len(b)
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Tuple.SrcPort))
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Tuple.DstPort))
+	b = binary.BigEndian.AppendUint16(b, uint16(8+len(p.Payload)))
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum, back-patched below
 	b = append(b, p.Payload...)
-	ph := pseudoHeader(p.Tuple, len(b))
-	csum := Checksum(ph, b)
-	binary.BigEndian.PutUint16(b[6:], csum)
+	seg := b[th:]
+	csum := Checksum(pseudoHeader(p.Tuple, len(seg)), seg)
+	binary.BigEndian.PutUint16(seg[6:], csum)
 	p.Checksum = csum
-	return p.serializeIP(b)
+	return b
 }
 
 // Parse decodes wire bytes produced by Serialize back into a Packet. It

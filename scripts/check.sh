@@ -32,18 +32,22 @@ go test ./internal/packet -run '^$' -fuzz '^FuzzPacketParse$' -fuzztime 10s
 go test ./internal/core   -run '^$' -fuzz '^FuzzSynPayload$'  -fuzztime 10s
 go test ./internal/core   -run '^$' -fuzz '^FuzzCtrlMsg$'     -fuzztime 10s
 go test ./internal/rudp   -run '^$' -fuzz '^FuzzRudpInput$'   -fuzztime 10s
+go test ./internal/dataplane -run '^$' -fuzz '^FuzzRawRewrite$' -fuzztime 10s
 go run ./cmd/dyscobench -short -obsout BENCH_obs.json
 go run ./cmd/dyscofault -short -json FAULT_sweep.json
 
-# Concurrent data-plane gate. The differential oracle and snapshot churn
-# stress already ran under -race above (internal/dataplane is part of the
-# module test sweep); this re-runs just that package's oracle tests as an
-# explicit, greppable gate, then takes the quick-scale throughput sweep.
-# The >2x parallel-speedup check inside the sweep self-gates on hosts
-# with fewer than 4 CPUs; the GitHub runners have 4 vCPUs, so CI enforces
-# it and archives the sweep as BENCH_dataplane.json.
-go test -race -run 'TestEngine|TestTable' ./internal/dataplane
-go run ./cmd/dyscobench -dataplane -dpout BENCH_dataplane.json
+# Concurrent data-plane gate. The differential oracles (struct and
+# raw-vs-struct) and snapshot churn stress already ran under -race above
+# (internal/dataplane is part of the module test sweep); this re-runs
+# just that package's oracle and raw-path tests as an explicit,
+# greppable gate, then takes the quick-scale throughput sweep including
+# the wire-path comparison (struct round trip vs zero-copy raw). The
+# >2x parallel-speedup and raw>=2x-struct checks inside the sweep
+# self-gate on hosts granted fewer than 4 CPUs; the GitHub runners have
+# 4 vCPUs, so CI enforces both and archives the sweep as
+# BENCH_dataplane.json.
+go test -race -run 'TestEngine|TestTable|TestRaw' ./internal/dataplane
+go run ./cmd/dyscobench -dataplane -raw -dpout BENCH_dataplane.json
 
 # Critical-path determinism gate: for every scenario, extract the
 # reconfiguration critical paths twice with the same seed and require
